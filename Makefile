@@ -1,0 +1,37 @@
+# Convenience targets for the multihit reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench reports examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/cover/ ./internal/cluster/ ./internal/mpisim/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure/table of EXPERIMENTS.md into reports/.
+reports:
+	$(GO) run ./cmd/benchreport -exp all -out reports
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/brca4hit
+	$(GO) run ./examples/scalingstudy
+	$(GO) run ./examples/panelclassifier
+	$(GO) run ./examples/mutationlevel
+	$(GO) run ./examples/maffiles
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/gene"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// expFig9 reproduces Fig. 9: per-cancer-type classification performance of
+// the discovered 4-hit combinations on the 25% held-out test split, with
+// Wilson 95% confidence intervals.
+func expFig9(cfg config) (string, error) {
+	genes := cfg.Genes
+	if cfg.Quick {
+		genes = 40
+	}
+	res, err := core.PanelStudy(dataset.FourHitCancers(), genes, cfg.Seed,
+		cover.Options{Hits: 4})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	table := report.NewTable(
+		fmt.Sprintf("4-hit classification, 11 cancer types, G scaled to %d (Fig. 9)", genes),
+		"cancer", "combos", "sensitivity", "95% CI", "specificity", "95% CI")
+	for _, tt := range res.PerCancer {
+		se, sp := tt.Eval.Sensitivity, tt.Eval.Specificity
+		table.Add(tt.Cancer,
+			fmt.Sprint(len(tt.Training.Combos)),
+			stats.Percent(se.Point),
+			fmt.Sprintf("[%s, %s]", stats.Percent(se.Lo), stats.Percent(se.Hi)),
+			stats.Percent(sp.Point),
+			fmt.Sprintf("[%s, %s]", stats.Percent(sp.Lo), stats.Percent(sp.Hi)))
+	}
+	b.WriteString(table.String())
+	fmt.Fprintf(&b, "\nmean sensitivity %s, mean specificity %s, %d combinations total\n",
+		stats.Percent(res.MeanSensitivity), stats.Percent(res.MeanSpecificity), res.TotalCombos)
+	b.WriteString("paper: 83% sensitivity (CI 72-90%), 90% specificity (CI 81-96%),\n" +
+		"151 combinations across the 11 cancer types.\n")
+	return b.String(), nil
+}
+
+// expFig10 reproduces Fig. 10: the positional mutation distributions of
+// IDH1 (driver: R132 hotspot, tumor-only) and MUC6 (passenger: flat in both
+// classes) in LGG, drawn from the synthetic MAF records.
+func expFig10(cfg config) (string, error) {
+	genes := cfg.Genes
+	if genes < 60 {
+		genes = 60
+	}
+	cohort, err := dataset.Generate(dataset.LGG().Scaled(genes), cfg.Seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+
+	// Top discovered combination should contain the planted IDH1 combo.
+	res, err := core.Discover(cohort, cover.Options{Hits: 4, MaxIterations: 1})
+	if err != nil {
+		return "", err
+	}
+	if len(res.Combos) > 0 {
+		fmt.Fprintf(&b, "top LGG 4-hit combination: %s\n", res.Combos[0])
+		fmt.Fprintf(&b, "paper: IDH1+MUC6+PABPC3+TAS2R46\n\n")
+	}
+
+	for _, symbol := range []string{"IDH1", "MUC6"} {
+		for _, class := range []gene.SampleClass{gene.Tumor, gene.Normal} {
+			h := gene.HistogramPositions(cohort.Mutations, symbol, class)
+			pos, pct := h.PeakPosition()
+			fmt.Fprintf(&b, "%s / %s: %d mutations, peak %.1f%% at codon %d\n",
+				symbol, class, h.Total, pct, pos)
+			b.WriteString(histogramLine(h) + "\n")
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("paper: IDH1 tumor mutations concentrate at R132 (400 of 532 samples)\n" +
+		"with none in normals; MUC6 scatters uniformly in both classes —\n" +
+		"a passenger, not a driver.\n")
+	return b.String(), nil
+}
+
+// histogramLine renders the top positions of a histogram compactly.
+func histogramLine(h gene.PositionHistogram) string {
+	type pp struct {
+		pos int
+		pct float64
+	}
+	var items []pp
+	for pos, pct := range h.Percent {
+		items = append(items, pp{pos, pct})
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].pct != items[b].pct {
+			return items[a].pct > items[b].pct
+		}
+		return items[a].pos < items[b].pos
+	})
+	if len(items) > 6 {
+		items = items[:6]
+	}
+	var parts []string
+	for _, it := range items {
+		parts = append(parts, fmt.Sprintf("p%d:%.1f%%", it.pos, it.pct))
+	}
+	return "  " + strings.Join(parts, "  ")
+}

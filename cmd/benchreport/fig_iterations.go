@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/cover"
+	"repro/internal/report"
+)
+
+// expIterations shows BitSplicing's compounding effect at cluster scale
+// (Sec. III-D): as covered tumor samples splice out of the matrices, each
+// iteration's kernels stream fewer words and the per-iteration critical
+// path shrinks.
+func expIterations(config) (string, error) {
+	rep, err := cluster.Simulate(cluster.Summit(100), cluster.BRCA4Hit(cover.Scheme3x1))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	table := report.NewTable("Per-iteration timeline, BRCA 4-hit 3x1, 100 nodes (model)",
+		"iter", "tumors left", "row words", "critical-path (s)", "vs iter 0")
+	base := rep.Iterations[0].MaxBusySec
+	for _, it := range rep.Iterations {
+		table.Addf(it.Iteration, it.TumorRemaining, it.RowWords,
+			it.MaxBusySec, it.MaxBusySec/base)
+	}
+	b.WriteString(table.String())
+	b.WriteString("\npaper (Sec. III-D): \"Combinations identified in earlier iterations tend\n" +
+		"to exclude a large number of tumor samples, so, BitSplicing can reduce\n" +
+		"the number of columns in the gene sample matrix\" — the reduction is\n" +
+		"linear in the spliced column words, saturating once the normal-side\n" +
+		"matrix dominates the stream.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/combinat"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/mutlevel"
+	"repro/internal/report"
+)
+
+// expMutLevel executes the paper's principal future-work direction
+// (Sec. V): mutation-level combination discovery. It contrasts gene-level
+// and mutation-level results on the LGG cohort (the paper's own
+// driver-vs-passenger example) and quantifies the combinatorial blow-up
+// that motivated the 27 648-GPU outlook.
+func expMutLevel(cfg config) (string, error) {
+	genes := cfg.Genes
+	if genes < 50 {
+		genes = 50
+	}
+	spec := dataset.LGG().Scaled(genes)
+	spec.ProfileAll = true
+	cohort, err := dataset.Generate(spec, cfg.Seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+
+	// Gene level: the IDH1 combination carries its passengers along.
+	geneRes, err := cover.Run(cohort.Tumor, cohort.Normal,
+		cover.Options{Hits: 4, MaxIterations: 3})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("gene-level top combinations:\n")
+	for i, s := range geneRes.Steps {
+		var syms []string
+		for _, g := range s.Combo.GeneIDs() {
+			syms = append(syms, cohort.GeneSymbols[g])
+		}
+		fmt.Fprintf(&b, "  %d. %s (covers %d)\n", i+1, strings.Join(syms, "+"), s.NewlyCovered)
+	}
+
+	// Mutation level: recurrent sites only.
+	e, err := mutlevel.Expand(cohort, 4)
+	if err != nil {
+		return "", err
+	}
+	mutRes, err := cover.Run(e.Tumor, e.Normal, cover.Options{Hits: 4, MaxIterations: 3})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\nmutation-level sites: %d retained, %d dropped by the recurrence filter\n",
+		len(e.Sites), e.DroppedSites)
+	b.WriteString("mutation-level top combinations:\n")
+	for i, s := range mutRes.Steps {
+		fmt.Fprintf(&b, "  %d. %s (covers %d)\n",
+			i+1, strings.Join(e.Labels(s.Combo.GeneIDs()), "+"), s.NewlyCovered)
+	}
+	if idx := e.SiteIndex("IDH1", 132); idx >= 0 {
+		fmt.Fprintf(&b, "\nIDH1:132 retained with recurrence %d; MUC6 contributes no recurrent site —\n"+
+			"the driver/passenger separation the paper's Fig. 10 analysis calls for.\n",
+			e.Sites[idx].TumorRecurrence)
+	}
+
+	// The compute blow-up at production scale (Sec. V arithmetic).
+	table := report.NewTable("Search-space growth, gene vs mutation level",
+		"universe", "size", "C(·,4)", "vs gene level")
+	g4 := combinat.QuadCount(19411)
+	table.Addf("genes (paper)", 19411, fmt.Sprintf("%.3g", float64(g4)), 1.0)
+	// C(4e5, 4) ≈ 1.07e21 overflows uint64; compute in float.
+	const m = 400000.0
+	m4 := m * (m - 1) * (m - 2) * (m - 3) / 24
+	table.Addf("protein-altering mutations", 400000, fmt.Sprintf("%.3g", m4),
+		fmt.Sprintf("%.3gx", m4/float64(g4)))
+	b.WriteString("\n" + table.String())
+	b.WriteString("\npaper: moving to ~4e5 mutations needs ~1e5 more compute than the\n" +
+		"optimized 4-hit gene run plus 20x larger input matrices (Sec. V).\n")
+	return b.String(), nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/cover"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// expFig6 reproduces Fig. 6: per-GPU compute utilization, DRAM throughput
+// and the warp-stall breakdown for the 2x2 scheme on ACC across 600 GPUs.
+func expFig6(config) (string, error) {
+	rep, err := cluster.Simulate(cluster.Summit(100), cluster.ACC4Hit(cover.Scheme2x2))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+
+	tput := make([]float64, len(rep.GPUMetrics))
+	busy := make([]float64, len(rep.GPUMetrics))
+	for i, m := range rep.GPUMetrics {
+		tput[i] = m.DRAMThroughput / 1e9
+		busy[i] = m.BusySeconds
+	}
+	b.WriteString(report.Series{Title: "Compute utilization per GPU (Fig. 6a)",
+		XLabel: "gpu", YLabel: "utilization", Y: rep.Utilization}.String())
+	b.WriteString(report.Series{Title: "DRAM throughput per GPU, GB/s (Fig. 6b)",
+		XLabel: "gpu", YLabel: "GB/s", Y: tput}.String())
+
+	table := report.NewTable("Warp-stall breakdown at selected GPUs (Fig. 6c)",
+		"gpu", "mem dependency", "mem throttle", "exec dependency", "regime")
+	for _, g := range []int{0, 150, 300, 450, 599} {
+		m := rep.GPUMetrics[g]
+		regime := "compute bound"
+		if m.MemoryBound {
+			regime = "memory bound"
+		}
+		table.Addf(g, m.StallMemDependency, m.StallMemThrottle, m.StallExecDependency, regime)
+	}
+	b.WriteString("\n" + table.String())
+
+	corr := stats.Pearson(rep.Utilization, tput)
+	fmt.Fprintf(&b, "\nutilization vs DRAM-throughput correlation: %.3f (paper: inverse)\n", corr)
+	lo, hi := stats.MinMax(rep.Utilization)
+	fmt.Fprintf(&b, "utilization range: %.2f - %.2f (paper: broad decline with spikes)\n", lo, hi)
+	return b.String(), nil
+}
+
+// expFig7 reproduces Fig. 7: the balanced utilization profile of the 3x1
+// scheme on BRCA.
+func expFig7(config) (string, error) {
+	rep, err := cluster.Simulate(cluster.Summit(100), cluster.BRCA4Hit(cover.Scheme3x1))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(report.Series{Title: "Compute utilization per GPU, 3x1 BRCA (Fig. 7)",
+		XLabel: "gpu", YLabel: "utilization", Y: rep.Utilization}.String())
+	lo, hi := stats.MinMax(rep.Utilization)
+	mean := stats.Mean(rep.Utilization)
+	fmt.Fprintf(&b, "\nutilization: mean %.3f, range %.3f - %.3f\n", mean, lo, hi)
+	b.WriteString("paper: balanced utilization across MPI processes for the 3x1 scheme.\n")
+	return b.String(), nil
+}
+
+// expFig8 reproduces Fig. 8: the per-rank computation and communication
+// split for a 1000-node run, showing messaging hidden under compute.
+func expFig8(cfg config) (string, error) {
+	nodes := 1000
+	if cfg.Quick {
+		nodes = 100
+	}
+	rep, err := cluster.Simulate(cluster.Summit(nodes), cluster.BRCA4Hit(cover.Scheme3x1))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	compute := make([]float64, len(rep.Ranks))
+	for i, r := range rep.Ranks {
+		compute[i] = r.ComputeSec
+	}
+	b.WriteString(report.Series{Title: fmt.Sprintf("Compute time per rank, %d nodes (Fig. 8)", nodes),
+		XLabel: "rank", YLabel: "seconds", Y: compute}.String())
+
+	table := report.NewTable("Ledger at selected ranks",
+		"rank", "compute (s)", "comm (s)", "idle wait (s)", "comm/compute")
+	for _, r := range []int{0, nodes / 4, nodes / 2, 3 * nodes / 4, nodes - 1} {
+		rk := rep.Ranks[r]
+		table.Addf(r, rk.ComputeSec, rk.CommSec, rk.WaitSec, rk.CommSec/rk.ComputeSec)
+	}
+	b.WriteString("\n" + table.String())
+	b.WriteString("\npaper: message-passing overhead is hidden by the largest computation\n" +
+		"time of individual MPI processes — comm is microseconds against\n" +
+		"hundreds of seconds of compute; rank skew shows up as idle wait.\n")
+	return b.String(), nil
+}
+
+// expMemory reproduces the Sec. III-E arithmetic: the storage collapse from
+// the naive combination list to the multi-stage reduction.
+func expMemory(config) (string, error) {
+	var b strings.Builder
+	const g = 19411
+	threads := uint64(g) * (g - 1) / 2 * (g - 2) / 3 // C(G,3)
+	table := report.NewTable("Multi-stage reduction memory plan, BRCA 4-hit (Sec. III-E)",
+		"stage", "records", "bytes")
+	table.Addf("per-thread list (one per 3x1 thread)", threads, fmtBytes(threads*20))
+	blocks := (threads + 511) / 512
+	table.Addf("after in-block reduction (512)", blocks, fmtBytes(blocks*20))
+	table.Addf("after per-GPU reduction (6000 GPUs)", 6000, fmtBytes(6000*20))
+	table.Addf("at rank 0 (1000 ranks x 20 B)", 1000, fmtBytes(1000*20))
+	b.WriteString(table.String())
+	b.WriteString("\npaper: 1.22e12 entries = 24.34 TB, reduced 512x to 47.5 GB, then one\n" +
+		"20-byte record per rank.\n")
+	return b.String(), nil
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1e12:
+		return fmt.Sprintf("%.2f TB", float64(n)/1e12)
+	case n >= 1e9:
+		return fmt.Sprintf("%.2f GB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2f MB", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.2f kB", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cover"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+// expFig4a reproduces Fig. 4(a): strong scaling of the 4-hit 3x1 scheme on
+// BRCA from 100 to 1000 Summit nodes.
+func expFig4a(cfg config) (string, error) {
+	nodes := []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	if cfg.Quick {
+		nodes = []int{100, 500, 1000}
+	}
+	pts, err := cluster.StrongScaling(cluster.BRCA4Hit(cover.Scheme3x1), nodes)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	table := report.NewTable("Strong scaling, BRCA 4-hit, 3x1 (Fig. 4a)",
+		"nodes", "GPUs", "runtime (s)", "efficiency")
+	sum, n := 0.0, 0
+	for _, p := range pts {
+		table.Addf(p.Nodes, p.Nodes*6, p.RuntimeSec, p.Efficiency)
+		if p.Nodes >= 200 {
+			sum += p.Efficiency
+			n++
+		}
+	}
+	b.WriteString(table.String())
+	if n > 0 {
+		fmt.Fprintf(&b, "\naverage efficiency (200-1000 nodes): %.4f\n", sum/float64(n))
+	}
+	fmt.Fprintf(&b, "1000-node efficiency: %.4f\n", pts[len(pts)-1].Efficiency)
+	b.WriteString("paper: 80.96%-97.96% per point, 84.18% at 1000 nodes, 90.14% average.\n")
+	return b.String(), nil
+}
+
+// expFig4b reproduces Fig. 4(b): weak scaling (first iteration, fixed work
+// per GPU) from 100 to 500 nodes.
+func expFig4b(cfg config) (string, error) {
+	nodes := []int{100, 200, 300, 400, 500}
+	if cfg.Quick {
+		nodes = []int{100, 500}
+	}
+	pts, err := cluster.WeakScaling(cluster.BRCA4Hit(cover.Scheme3x1), nodes)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	table := report.NewTable("Weak scaling, BRCA 4-hit, 3x1, first iteration (Fig. 4b)",
+		"nodes", "GPUs", "runtime (s)", "efficiency")
+	sum, n := 0.0, 0
+	for _, p := range pts {
+		table.Addf(p.Nodes, p.Nodes*6, p.RuntimeSec, p.Efficiency)
+		if p.Nodes >= 200 {
+			sum += p.Efficiency
+			n++
+		}
+	}
+	b.WriteString(table.String())
+	if n > 0 {
+		fmt.Fprintf(&b, "\naverage efficiency (200-500 nodes): %.4f\n", sum/float64(n))
+	}
+	b.WriteString("paper: 90% at 500 nodes, 94.6% average for 200-500 nodes.\n")
+	return b.String(), nil
+}
+
+// expEDvEA reproduces the Sec. IV-B comparison: full-run 2x2 BRCA runtimes
+// at 100 nodes under the equi-distance vs equi-area schedulers.
+func expEDvEA(config) (string, error) {
+	w := cluster.BRCA4Hit(cover.Scheme2x2)
+	ea, err := cluster.Simulate(cluster.Summit(100), w)
+	if err != nil {
+		return "", err
+	}
+	w.Scheduler = cover.EquiDistance
+	ed, err := cluster.Simulate(cluster.Summit(100), w)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	table := report.NewTable("ED vs EA scheduler, BRCA 4-hit 2x2, 100 nodes",
+		"scheduler", "runtime (s)", "speedup")
+	table.Addf("equi-distance", ed.RuntimeSec, 1.0)
+	table.Addf("equi-area", ea.RuntimeSec, ed.RuntimeSec/ea.RuntimeSec)
+	b.WriteString(table.String())
+	b.WriteString("\npaper: 13943 s (ED) vs 4607 s (EA) — a 3.0x speedup.\n")
+
+	// Scheduler-level balance, independent of the device model.
+	curve := sched.NewTri2x2(19411)
+	edS := sched.Analyze(curve, sched.EquiDistance(curve, 600))
+	eaS := sched.Analyze(curve, sched.EquiArea(curve, 600))
+	fmt.Fprintf(&b, "work imbalance (max/mean - 1): ED %.2f, EA %.5f\n",
+		edS.Imbalance, eaS.Imbalance)
+	return b.String(), nil
+}
+
+// expSpeedup reproduces the Sec. I estimates: single-GPU 4-hit runtime and
+// the speedup at 6000 GPUs, plus the 3-hit single-device anchors.
+func expSpeedup(config) (string, error) {
+	var b strings.Builder
+	w4 := cluster.BRCA4Hit(cover.Scheme3x1)
+	single4, err := cluster.SingleGPUSeconds(cluster.Summit(1), w4)
+	if err != nil {
+		return "", err
+	}
+	pts, err := cluster.StrongScaling(w4, []int{100, 1000})
+	if err != nil {
+		return "", err
+	}
+	w3 := w4
+	w3.Scheme = cover.Scheme2x1
+	single3, err := cluster.SingleGPUSeconds(cluster.Summit(1), w3)
+	if err != nil {
+		return "", err
+	}
+
+	table := report.NewTable("Runtime anchors vs paper",
+		"quantity", "model", "paper")
+	table.Addf("3-hit BRCA, 1 GPU", fmtDur(single3), "23 min")
+	table.Addf("4-hit BRCA, 1 GPU (est.)", fmtDur(single4), "over 40 days")
+	table.Addf("4-hit BRCA, 100 nodes", fmtDur(pts[0].RuntimeSec), "~2 h scale")
+	table.Addf("4-hit BRCA, 1000 nodes", fmtDur(pts[1].RuntimeSec), "-")
+	table.Addf("speedup, 6000 GPUs vs 1", fmt.Sprintf("%.0fx", single4/pts[1].RuntimeSec), "7192x")
+	b.WriteString(table.String())
+	return b.String(), nil
+}
+
+func fmtDur(sec float64) string {
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d > 48*time.Hour:
+		return fmt.Sprintf("%.1f days", sec/86400)
+	case d > 2*time.Hour:
+		return fmt.Sprintf("%.1f h", sec/3600)
+	case d > 2*time.Minute:
+		return fmt.Sprintf("%.1f min", sec/60)
+	}
+	return fmt.Sprintf("%.0f s", sec)
+}
+
+// expSchedCost reproduces the Sec. III-C claim: the level-based EA
+// scheduler computes a full paper-scale schedule in well under a second,
+// where the naive per-thread accumulation is O(C(G,3)).
+func expSchedCost(config) (string, error) {
+	var b strings.Builder
+	table := report.NewTable("EA schedule computation cost",
+		"G", "GPUs", "method", "time", "threads visited")
+
+	start := time.Now()
+	curve := sched.NewTetra3x1(19411)
+	parts := sched.EquiArea(curve, 6000)
+	elapsed := time.Since(start)
+	table.Addf(19411, 6000, "level-table (O(G+P log G))", elapsed.String(), len(parts))
+
+	start = time.Now()
+	small := sched.NewTetra3x1(300)
+	sched.NaiveEquiArea(small, 30)
+	elapsed = time.Since(start)
+	table.Addf(300, 30, "naive per-thread scan", elapsed.String(), small.Threads())
+
+	b.WriteString(table.String())
+	fmt.Fprintf(&b, "\nnaive at G=19411 would visit C(G,3) = %d threads (paper: \"tens of\n"+
+		"hours\"); the level scheduler finishes in %s (paper: \"less than a minute\").\n",
+		curve.Threads(), "milliseconds")
+	return b.String(), nil
+}

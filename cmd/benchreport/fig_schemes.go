@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/report"
+)
+
+// expSchemes is the parallelization-scheme ablation (Sec. III-A): all four
+// loop-flattening schemes — including the 1x3 and 4x1 schemes the paper
+// defines but rejects — compared both on the cluster model at paper scale
+// and as real measured kernels at CPU scale. Every scheme returns the
+// identical best combination; the ablation shows why only 2x2 and 3x1 were
+// worth building on Summit.
+func expSchemes(cfg config) (string, error) {
+	var b strings.Builder
+
+	// Part 1: modeled first-iteration runtime at 100 nodes, BRCA.
+	table := report.NewTable("Modeled first-iteration runtime, BRCA, 100 nodes (600 GPUs)",
+		"scheme", "threads", "runtime (s)", "vs 3x1")
+	var base float64
+	for _, scheme := range []cover.Scheme{cover.Scheme3x1, cover.Scheme2x2,
+		cover.Scheme1x3, cover.Scheme4x1} {
+		w := cluster.BRCA4Hit(scheme)
+		w.Iterations = 1
+		w.SpliceShrink = 0
+		rep, err := cluster.Simulate(cluster.Summit(100), w)
+		if err != nil {
+			return "", err
+		}
+		if scheme == cover.Scheme3x1 {
+			base = rep.RuntimeSec
+		}
+		curveThreads := map[cover.Scheme]string{
+			cover.Scheme3x1: "C(G,3) = 1.2e12",
+			cover.Scheme2x2: "C(G,2) = 1.9e8",
+			cover.Scheme1x3: "G = 19411",
+			cover.Scheme4x1: "C(G,4) = 5.9e15",
+		}[scheme]
+		table.Addf(scheme.String(), curveThreads, rep.RuntimeSec, rep.RuntimeSec/base)
+	}
+	b.WriteString(table.String())
+	b.WriteString("\npaper: 1x3 offers \"a small number of threads (limited parallelization)\n" +
+		"with heavy workload per thread\"; 4x1 \"astronomically large threads with\n" +
+		"constant operation\" — only 2x2 and 3x1 were implemented.\n\n")
+
+	// Part 2: real measured kernels at CPU scale — correctness across all
+	// schemes plus wall-clock.
+	g := 44
+	if cfg.Quick {
+		g = 24
+	}
+	spec := dataset.BRCA().Scaled(g)
+	cohort, err := dataset.Generate(spec, cfg.Seed)
+	if err != nil {
+		return "", err
+	}
+	meas := report.NewTable(fmt.Sprintf("Measured single-pass kernel time, G=%d (CPU)", g),
+		"scheme", "time", "best combo")
+	var ref string
+	for _, scheme := range []cover.Scheme{cover.Scheme3x1, cover.Scheme2x2,
+		cover.Scheme1x3, cover.Scheme4x1} {
+		start := time.Now()
+		best, _, err := cover.FindBest(cohort.Tumor, cohort.Normal, nil,
+			cover.Options{Hits: 4, Scheme: scheme})
+		if err != nil {
+			return "", err
+		}
+		combo := fmt.Sprint(best.GeneIDs())
+		if ref == "" {
+			ref = combo
+		} else if combo != ref {
+			return "", fmt.Errorf("scheme %s found %s, reference %s", scheme, combo, ref)
+		}
+		meas.Addf(scheme.String(), time.Since(start).Round(time.Microsecond).String(), combo)
+	}
+	b.WriteString(meas.String())
+	b.WriteString("\nall four schemes return the identical best combination.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,111 @@
+// Command gendata generates a synthetic TCGA-like cohort and writes its
+// bit-packed tumor and normal gene×sample matrices to disk, along with a
+// summary of the generated structure.
+//
+// Usage:
+//
+//	gendata -cancer LGG -genes 70 -out ./data
+//	gendata -cancer BRCA -genes 500 -seed 7 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/gene"
+)
+
+func main() {
+	cancer := flag.String("cancer", "BRCA", "TCGA study code")
+	genes := flag.Int("genes", 0, "scaled gene-universe size (0 = paper scale)")
+	seed := flag.Int64("seed", 42, "generation seed")
+	out := flag.String("out", ".", "output directory")
+	mafOut := flag.Bool("maf", false, "also write TCGA-style MAF files for both classes")
+	cohortOut := flag.Bool("cohort", false, "also write the full cohort (symbols, barcodes, ground truth) as one file")
+	flag.Parse()
+
+	spec, err := dataset.ByCode(*cancer)
+	if err != nil {
+		fatal(err)
+	}
+	if *genes > 0 {
+		spec = spec.Scaled(*genes)
+	}
+	cohort, err := dataset.Generate(spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, writeTo func(w io.Writer) (int64, error)) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := writeTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, n)
+	}
+	write(fmt.Sprintf("%s_tumor.bmat", spec.Code), cohort.Tumor.WriteTo)
+	write(fmt.Sprintf("%s_normal.bmat", spec.Code), cohort.Normal.WriteTo)
+
+	fmt.Printf("\n%s (%s): G=%d, %d tumor / %d normal samples\n",
+		spec.Code, spec.Name, spec.Genes, cohort.Nt(), cohort.Nn())
+	fmt.Printf("tumor matrix density %.4f, normal %.4f\n",
+		cohort.Tumor.Density(), cohort.Normal.Density())
+	fmt.Printf("%d planted %d-hit driver combinations; %d MAF-like mutation records\n",
+		len(cohort.Planted), spec.Hits, len(cohort.Mutations))
+
+	if *cohortOut {
+		path := filepath.Join(*out, fmt.Sprintf("%s.cohort", spec.Code))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = cohort.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if *mafOut {
+		writeMAF := func(name string, class gene.SampleClass) {
+			path := filepath.Join(*out, name)
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			err = cohort.ExportMAF(f, class)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		writeMAF(fmt.Sprintf("%s_tumor.maf", spec.Code), gene.Tumor)
+		writeMAF(fmt.Sprintf("%s_normal.maf", spec.Code), gene.Normal)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gendata:", err)
+	os.Exit(1)
+}

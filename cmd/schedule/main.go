@@ -1,0 +1,86 @@
+// Command schedule computes and prints workload partitions for the
+// multi-hit kernels: the equi-area schedule the paper runs on Summit, or
+// the naive equi-distance baseline, with balance statistics.
+//
+// Usage:
+//
+//	schedule -genes 19411 -scheme 3x1 -gpus 6000
+//	schedule -genes 50 -scheme 3x1 -gpus 30 -scheduler ED -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+func main() {
+	genes := flag.Uint64("genes", 19411, "gene-universe size G")
+	scheme := flag.String("scheme", "3x1", "kernel scheme: pair, 2x1, 2x2, 3x1")
+	gpus := flag.Int("gpus", 6000, "number of GPUs to partition across")
+	scheduler := flag.String("scheduler", "EA", "EA (equi-area) or ED (equi-distance)")
+	dump := flag.Bool("dump", false, "print every partition (default: summary + extremes)")
+	flag.Parse()
+
+	var curve sched.Curve
+	switch *scheme {
+	case "pair":
+		curve = sched.NewFlat(*genes * (*genes - 1) / 2)
+	case "2x1":
+		curve = sched.NewTri2x1(*genes)
+	case "2x2":
+		curve = sched.NewTri2x2(*genes)
+	case "3x1":
+		curve = sched.NewTetra3x1(*genes)
+	default:
+		fmt.Fprintf(os.Stderr, "schedule: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var parts []sched.Partition
+	switch *scheduler {
+	case "EA":
+		parts = sched.EquiArea(curve, *gpus)
+	case "ED":
+		parts = sched.EquiDistance(curve, *gpus)
+	default:
+		fmt.Fprintf(os.Stderr, "schedule: unknown scheduler %q\n", *scheduler)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+	if err := sched.Validate(curve, parts); err != nil {
+		fmt.Fprintln(os.Stderr, "schedule: internal error:", err)
+		os.Exit(1)
+	}
+	stats := sched.Analyze(curve, parts)
+
+	fmt.Printf("%s over %s: %d threads, %d combinations of work\n",
+		*scheduler, curve.Name(), curve.Threads(), curve.TotalWork())
+	fmt.Printf("computed %d partitions in %s\n", len(parts), elapsed)
+	fmt.Printf("work per GPU: mean %.4g, max %d, min %d, imbalance %.5f\n\n",
+		stats.Mean, stats.Max, stats.Min, stats.Imbalance)
+
+	table := report.NewTable("Partitions", "gpu", "lo", "hi", "threads", "work")
+	show := func(i int) {
+		table.Addf(i, parts[i].Lo, parts[i].Hi, parts[i].Size(), stats.PerPart[i])
+	}
+	if *dump || len(parts) <= 16 {
+		for i := range parts {
+			show(i)
+		}
+	} else {
+		for i := 0; i < 5; i++ {
+			show(i)
+		}
+		table.Add("...", "...", "...", "...", "...")
+		for i := len(parts) - 5; i < len(parts); i++ {
+			show(i)
+		}
+	}
+	fmt.Print(table.String())
+}

@@ -1,0 +1,149 @@
+// Command simscale runs the Summit-scale performance model: strong and
+// weak scaling studies, single runs with per-GPU profiles, and ED-vs-EA
+// comparisons — everything behind Fig. 4, 6, 7 and 8 at arbitrary
+// configurations.
+//
+// Usage:
+//
+//	simscale -mode strong -nodes 100,200,500,1000
+//	simscale -mode weak -nodes 100,300,500
+//	simscale -mode run -nodes 100 -scheme 2x2 -cancer ACC -profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	mode := flag.String("mode", "strong", "strong, weak, run, or campaign")
+	nodesFlag := flag.String("nodes", "100,200,300,400,500,600,700,800,900,1000", "node counts")
+	cancer := flag.String("cancer", "BRCA", "workload cohort: BRCA or ACC")
+	schemeFlag := flag.String("scheme", "3x1", "kernel scheme: 2x1, 2x2, 3x1")
+	scheduler := flag.String("scheduler", "EA", "EA or ED")
+	iterations := flag.Int("iterations", 0, "override cover-loop iterations (0 = workload default)")
+	profile := flag.Bool("profile", false, "print per-GPU utilization and rank ledger for -mode run")
+	flag.Parse()
+
+	var scheme cover.Scheme
+	switch *schemeFlag {
+	case "2x1":
+		scheme = cover.Scheme2x1
+	case "2x2":
+		scheme = cover.Scheme2x2
+	case "3x1":
+		scheme = cover.Scheme3x1
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *schemeFlag))
+	}
+
+	var w cluster.Workload
+	switch *cancer {
+	case "BRCA":
+		w = cluster.BRCA4Hit(scheme)
+	case "ACC":
+		w = cluster.ACC4Hit(scheme)
+	default:
+		fatal(fmt.Errorf("workloads available for BRCA and ACC, got %q", *cancer))
+	}
+	if *scheduler == "ED" {
+		w.Scheduler = cover.EquiDistance
+	}
+	if *iterations > 0 {
+		w.Iterations = *iterations
+	}
+
+	nodes, err := parseNodes(*nodesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "strong":
+		pts, err := cluster.StrongScaling(w, nodes)
+		if err != nil {
+			fatal(err)
+		}
+		printPoints("Strong scaling", w, pts)
+	case "weak":
+		pts, err := cluster.WeakScaling(w, nodes)
+		if err != nil {
+			fatal(err)
+		}
+		printPoints("Weak scaling (first iteration)", w, pts)
+	case "run":
+		rep, err := cluster.Simulate(cluster.Summit(nodes[0]), w)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s %s %s on %d nodes (%d GPUs): runtime %.1f s\n",
+			*cancer, w.Scheme, w.Scheduler, nodes[0], nodes[0]*6, rep.RuntimeSec)
+		if *profile {
+			fmt.Println()
+			fmt.Print(report.Series{Title: "Per-GPU utilization", XLabel: "gpu",
+				YLabel: "utilization", Y: rep.Utilization}.String())
+			lo, hi := stats.MinMax(rep.Utilization)
+			fmt.Printf("\nutilization range %.3f - %.3f, mean %.3f\n",
+				lo, hi, stats.Mean(rep.Utilization))
+			t := report.NewTable("Rank ledger (extremes)", "rank", "compute (s)", "comm (s)", "wait (s)")
+			for _, r := range []int{0, len(rep.Ranks) / 2, len(rep.Ranks) - 1} {
+				rk := rep.Ranks[r]
+				t.Addf(rk.Rank, rk.ComputeSec, rk.CommSec, rk.WaitSec)
+			}
+			fmt.Print("\n" + t.String())
+		}
+	case "campaign":
+		rep, err := cluster.RunCampaign(cluster.Campaign{
+			Nodes:  nodes[0],
+			Scheme: scheme,
+		}, dataset.FourHitCancers())
+		if err != nil {
+			fatal(err)
+		}
+		t := report.NewTable(fmt.Sprintf("11-cancer campaign, %d nodes per job", nodes[0]),
+			"cancer", "runtime (s)", "node-hours")
+		for _, j := range rep.Jobs {
+			t.Addf(j.Cancer, j.RuntimeSec, j.NodeHours)
+		}
+		fmt.Print(t.String())
+		fmt.Printf("total %.0f s, %.0f node-hours\n", rep.TotalSec, rep.TotalNodeHours)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func parseNodes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func printPoints(title string, w cluster.Workload, pts []cluster.ScalingPoint) {
+	table := report.NewTable(
+		fmt.Sprintf("%s: %s scheme, %s scheduler", title, w.Scheme, w.Scheduler),
+		"nodes", "GPUs", "runtime (s)", "efficiency")
+	for _, p := range pts {
+		table.Addf(p.Nodes, p.Nodes*6, p.RuntimeSec, p.Efficiency)
+	}
+	fmt.Print(table.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simscale:", err)
+	os.Exit(1)
+}

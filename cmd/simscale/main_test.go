@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseNodes(t *testing.T) {
+	got, err := parseNodes("100, 200,300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 100 || got[2] != 300 {
+		t.Fatalf("parseNodes = %v", got)
+	}
+	for _, bad := range []string{"", "abc", "100,-5", "100,,200", "0"} {
+		if _, err := parseNodes(bad); err == nil {
+			t.Errorf("parseNodes(%q) accepted bad input", bad)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces "Scaling Out a Combinatorial Algorithm for
+// Discovering Carcinogenic Gene Combinations to Thousands of GPUs"
+// (Dash et al., IPDPS 2021) as a pure-Go library.
+//
+// The public surface lives under internal/ (this module is a research
+// reproduction, not a semver-stable API): internal/core ties the pipeline
+// together, internal/cover holds the weighted-set-cover engine, and
+// internal/cluster holds the Summit-scale performance model. See README.md
+// for the architecture overview, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package exists to host the benchmark suite (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,69 @@
+// Mutation-level discovery: the paper's Sec. V future-work direction,
+// executed. Gene-level combinations mix drivers with passengers (LGG's top
+// combination pairs IDH1 with the passenger MUC6); expanding the cohort to
+// mutation-site rows and filtering by recurrence separates them — the
+// discovered combinations name specific causal codons.
+//
+//	go run ./examples/mutationlevel
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/gene"
+	"repro/internal/mutlevel"
+)
+
+func main() {
+	spec := dataset.LGG().Scaled(60)
+	spec.ProfileAll = true // positional records for every gene
+	cohort, err := dataset.Generate(spec, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LGG cohort: G=%d, %d tumor / %d normal samples, %d mutation records\n\n",
+		spec.Genes, cohort.Nt(), cohort.Nn(), len(cohort.Mutations))
+
+	// Gene level: the classic pipeline.
+	geneRes, err := cover.Run(cohort.Tumor, cohort.Normal,
+		cover.Options{Hits: 4, MaxIterations: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var syms []string
+	for _, g := range geneRes.Steps[0].Combo.GeneIDs() {
+		syms = append(syms, cohort.GeneSymbols[g])
+	}
+	fmt.Printf("gene level top combination:     %s\n", strings.Join(syms, "+"))
+
+	// Fig. 10's diagnosis: IDH1 is a driver (hotspot), MUC6 a passenger.
+	for _, symbol := range []string{"IDH1", "MUC6"} {
+		h := gene.HistogramPositions(cohort.Mutations, symbol, gene.Tumor)
+		pos, pct := h.PeakPosition()
+		fmt.Printf("  %-5s tumor mutations: %3d, top codon %d holds %.1f%%\n",
+			symbol, h.Total, pos, pct)
+	}
+
+	// Mutation level: one row per recurrent site.
+	e, err := mutlevel.Expand(cohort, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmutation level: %d recurrent sites retained, %d scattered sites dropped\n",
+		len(e.Sites), e.DroppedSites)
+	mutRes, err := cover.Run(e.Tumor, e.Normal, cover.Options{Hits: 4, MaxIterations: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mutation level top combination: %s\n",
+		strings.Join(e.Labels(mutRes.Steps[0].Combo.GeneIDs()), "+"))
+	if idx := e.SiteIndex("IDH1", 132); idx >= 0 {
+		fmt.Printf("\nIDH1:132 survives as a driver site (recurrence %d);\n"+
+			"MUC6 has no recurrent site — the passenger is gone.\n",
+			e.Sites[idx].TumorRecurrence)
+	}
+}

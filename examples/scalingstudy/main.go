@@ -1,0 +1,76 @@
+// Scaling study: reproduce the paper's strong- and weak-scaling curves on
+// the Summit performance model, then run the actual algorithm distributed
+// across simulated MPI ranks and check it matches the single-machine
+// engine.
+//
+//	go run ./examples/scalingstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/report"
+)
+
+func main() {
+	// Part 1: strong scaling of the paper's BRCA 4-hit workload, 100 to
+	// 1000 Summit nodes (Fig. 4a).
+	w := cluster.BRCA4Hit(cover.Scheme3x1)
+	pts, err := cluster.StrongScaling(w, []int{100, 200, 400, 600, 800, 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := report.NewTable("Strong scaling, BRCA 4-hit (model)",
+		"nodes", "runtime (s)", "efficiency")
+	for _, p := range pts {
+		table.Addf(p.Nodes, p.RuntimeSec, p.Efficiency)
+	}
+	fmt.Print(table.String())
+	fmt.Printf("paper: 84.18%% efficiency at 1000 nodes; model: %.2f%%\n\n",
+		100*pts[len(pts)-1].Efficiency)
+
+	// Part 2: weak scaling, fixed work per GPU (Fig. 4b).
+	weak, err := cluster.WeakScaling(w, []int{100, 300, 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table = report.NewTable("Weak scaling, first iteration (model)",
+		"nodes", "runtime (s)", "efficiency")
+	for _, p := range weak {
+		table.Addf(p.Nodes, p.RuntimeSec, p.Efficiency)
+	}
+	fmt.Print(table.String())
+
+	// Part 3: functional distributed discovery — the real kernels running
+	// on simulated ranks, reduced through the simulated MPI fabric.
+	spec := dataset.BRCA().Scaled(40)
+	cohort, err := dataset.Generate(spec, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := cover.Options{Hits: 4}
+	local, err := cover.Run(cohort.Tumor, cohort.Normal, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := cluster.Discover(cluster.Summit(4), cohort.Tumor, cohort.Normal, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndistributed discovery on 4 simulated nodes (24 GPU partitions):\n")
+	fmt.Printf("  local engine: %d combos, covered %d\n", len(local.Steps), local.Covered)
+	fmt.Printf("  distributed:  %d combos, covered %d\n", len(dist.Steps), dist.Covered)
+	for i := range local.Steps {
+		if local.Steps[i].Combo != dist.Steps[i].Combo {
+			log.Fatalf("divergence at combo %d", i)
+		}
+	}
+	fmt.Println("  identical greedy cover ✓")
+	r0 := dist.Ranks[0]
+	fmt.Printf("  rank 0 ledger: %.1f s compute, %.2g s comm (hidden under compute)\n",
+		r0.ComputeSec, r0.CommSec)
+}

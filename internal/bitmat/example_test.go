@@ -1,0 +1,39 @@
+package bitmat_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+)
+
+// A combination's TP count is one AND-popcount chain over packed rows.
+func ExampleMatrix_ComboPopCount() {
+	m := bitmat.New(3, 5) // 3 genes × 5 samples
+	// Samples 0 and 3 carry mutations in genes 0 and 2.
+	for _, s := range []int{0, 3} {
+		m.Set(0, s)
+		m.Set(2, s)
+	}
+	m.Set(1, 1)
+	fmt.Println(m.ComboPopCount(0, 2))
+	fmt.Println(m.ComboPopCount(0, 1))
+	// Output:
+	// 2
+	// 0
+}
+
+// BitSplicing removes covered samples from the matrix entirely, shrinking
+// every subsequent AND chain.
+func ExampleMatrix_Splice() {
+	m := bitmat.New(2, 4)
+	m.Set(0, 0)
+	m.Set(0, 2)
+	m.Set(1, 3)
+	covered := bitmat.NewVec(4)
+	covered.Set(0)
+	covered.Set(2)
+	spliced := m.Splice(covered)
+	fmt.Println(spliced.Samples(), spliced.Get(1, 1))
+	// Output:
+	// 2 true
+}

@@ -1,0 +1,152 @@
+// Package classify evaluates discovered multi-hit combinations as a
+// tumor/normal classifier (Sec. IV-F, Fig. 9).
+//
+// For one cancer type with combinations c₁…cₚ, a sample is classified as a
+// tumor sample if it carries mutations in every gene of at least one cᵢ;
+// otherwise it is classified as normal. Sensitivity is the fraction of
+// tumor samples classified tumor; specificity the fraction of normal
+// samples classified normal; both carry Wilson 95% confidence intervals.
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/reduce"
+	"repro/internal/stats"
+)
+
+// Classifier is a trained per-cancer-type rule set.
+type Classifier struct {
+	// Combos are the discovered combinations, each a sorted gene-id list.
+	Combos [][]int
+}
+
+// New builds a classifier from discovery output.
+func New(combos []reduce.Combo) *Classifier {
+	c := &Classifier{}
+	for _, combo := range combos {
+		c.Combos = append(c.Combos, combo.GeneIDs())
+	}
+	return c
+}
+
+// FromGeneIDs builds a classifier from explicit gene-id lists.
+func FromGeneIDs(combos [][]int) *Classifier {
+	c := &Classifier{}
+	for _, ids := range combos {
+		cp := make([]int, len(ids))
+		copy(cp, ids)
+		c.Combos = append(c.Combos, cp)
+	}
+	return c
+}
+
+// PredictSample reports whether sample s of the matrix is classified as a
+// tumor sample: it carries all genes of at least one combination.
+func (c *Classifier) PredictSample(m *bitmat.Matrix, s int) bool {
+	for _, combo := range c.Combos {
+		all := true
+		for _, g := range combo {
+			if !m.Get(g, s) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// PredictPositives returns the number of samples in the matrix classified
+// as tumor, using the bit-parallel path (one AND-chain per combination).
+func (c *Classifier) PredictPositives(m *bitmat.Matrix) int {
+	if m.Samples() == 0 {
+		return 0
+	}
+	hit := bitmat.NewVec(m.Samples())
+	buf := make([]uint64, m.Words())
+	for _, combo := range c.Combos {
+		if len(combo) == 0 {
+			continue
+		}
+		m.ComboVec(buf, combo...)
+		v := bitmat.NewVec(m.Samples())
+		copy(v.Words(), buf)
+		hit.Or(v)
+	}
+	return hit.PopCount()
+}
+
+// Attribution maps each positively classified sample to the first
+// combination that fires for it — the interpretability view: which
+// discovered combination "explains" each tumor call.
+type Attribution struct {
+	// ComboFor maps sample column → index into Combos (-1 for samples
+	// classified normal).
+	ComboFor []int
+	// Counts is how many samples each combination explains.
+	Counts []int
+}
+
+// Attribute classifies every sample of the matrix and records which
+// combination fires first (combination order is the greedy discovery
+// order, so attribution mirrors the cover structure).
+func (c *Classifier) Attribute(m *bitmat.Matrix) Attribution {
+	a := Attribution{
+		ComboFor: make([]int, m.Samples()),
+		Counts:   make([]int, len(c.Combos)),
+	}
+	for s := range a.ComboFor {
+		a.ComboFor[s] = -1
+	}
+	buf := make([]uint64, m.Words())
+	claimed := bitmat.NewVec(m.Samples())
+	for ci, combo := range c.Combos {
+		if len(combo) == 0 {
+			continue
+		}
+		m.ComboVec(buf, combo...)
+		v := bitmat.NewVec(m.Samples())
+		copy(v.Words(), buf)
+		v.AndNot(claimed) // first-match-wins
+		for s := 0; s < m.Samples(); s++ {
+			if v.Get(s) {
+				a.ComboFor[s] = ci
+				a.Counts[ci]++
+			}
+		}
+		claimed.Or(v)
+	}
+	return a
+}
+
+// Evaluation is the test-set performance of one classifier.
+type Evaluation struct {
+	// Sensitivity is TP / (TP + FN) over tumor samples, with its CI.
+	Sensitivity stats.Interval
+	// Specificity is TN / (TN + FP) over normal samples, with its CI.
+	Specificity stats.Interval
+}
+
+// Evaluate scores the classifier on a tumor and a normal test matrix.
+func (c *Classifier) Evaluate(tumor, normal *bitmat.Matrix) (Evaluation, error) {
+	if len(c.Combos) == 0 {
+		return Evaluation{}, fmt.Errorf("classify: empty classifier")
+	}
+	for _, combo := range c.Combos {
+		for _, g := range combo {
+			if g < 0 || g >= tumor.Genes() || g >= normal.Genes() {
+				return Evaluation{}, fmt.Errorf("classify: gene id %d outside matrices", g)
+			}
+		}
+	}
+	tp := c.PredictPositives(tumor)
+	fp := c.PredictPositives(normal)
+	return Evaluation{
+		Sensitivity: stats.WilsonCI(tp, tumor.Samples()),
+		Specificity: stats.WilsonCI(normal.Samples()-fp, normal.Samples()),
+	}, nil
+}

@@ -1,0 +1,189 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/reduce"
+)
+
+func TestPredictSample(t *testing.T) {
+	m := bitmat.New(5, 4)
+	// Sample 0 carries genes {0,1}; sample 1 carries {0}; sample 2 {2,3};
+	// sample 3 nothing.
+	m.Set(0, 0)
+	m.Set(1, 0)
+	m.Set(0, 1)
+	m.Set(2, 2)
+	m.Set(3, 2)
+	c := FromGeneIDs([][]int{{0, 1}, {2, 3}})
+	want := []bool{true, false, true, false}
+	for s, w := range want {
+		if got := c.PredictSample(m, s); got != w {
+			t.Errorf("sample %d: predict = %v, want %v", s, got, w)
+		}
+	}
+	if got := c.PredictPositives(m); got != 2 {
+		t.Errorf("PredictPositives = %d, want 2", got)
+	}
+}
+
+func TestPredictPositivesMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := bitmat.New(20, 300)
+	for g := 0; g < 20; g++ {
+		for s := 0; s < 300; s++ {
+			if rng.Float64() < 0.3 {
+				m.Set(g, s)
+			}
+		}
+	}
+	c := FromGeneIDs([][]int{{0, 3, 7}, {2, 5}, {10, 11, 12, 13}})
+	slow := 0
+	for s := 0; s < 300; s++ {
+		if c.PredictSample(m, s) {
+			slow++
+		}
+	}
+	if fast := c.PredictPositives(m); fast != slow {
+		t.Fatalf("bit-parallel count %d != per-sample count %d", fast, slow)
+	}
+}
+
+func TestNewFromCombos(t *testing.T) {
+	c := New([]reduce.Combo{
+		reduce.NewCombo(0.9, 1, 4, 6),
+		reduce.NewCombo(0.8, 2, 3),
+	})
+	if len(c.Combos) != 2 || len(c.Combos[0]) != 3 || len(c.Combos[1]) != 2 {
+		t.Fatalf("classifier combos = %v", c.Combos)
+	}
+}
+
+func TestEvaluatePerfectSplit(t *testing.T) {
+	tumor := bitmat.New(4, 10)
+	normal := bitmat.New(4, 10)
+	for s := 0; s < 10; s++ {
+		tumor.Set(0, s)
+		tumor.Set(1, s)
+	}
+	c := FromGeneIDs([][]int{{0, 1}})
+	ev, err := c.Evaluate(tumor, normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Sensitivity.Point != 1 || ev.Specificity.Point != 1 {
+		t.Fatalf("perfect split: sens=%g spec=%g", ev.Sensitivity.Point, ev.Specificity.Point)
+	}
+	if ev.Sensitivity.Lo >= 1 || ev.Sensitivity.Hi != 1 {
+		t.Fatal("CI should be sub-unit on the low side")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	tumor := bitmat.New(4, 5)
+	normal := bitmat.New(4, 5)
+	if _, err := (&Classifier{}).Evaluate(tumor, normal); err == nil {
+		t.Error("empty classifier accepted")
+	}
+	c := FromGeneIDs([][]int{{0, 9}})
+	if _, err := c.Evaluate(tumor, normal); err == nil {
+		t.Error("out-of-range gene accepted")
+	}
+}
+
+func TestTrainTestPipelineOnSyntheticCohort(t *testing.T) {
+	// End-to-end: generate a cohort, train on 75% with the real discovery
+	// engine, evaluate on 25%. Sensitivity should be high (driver signal)
+	// and specificity should exceed sensitivity's noise floor.
+	spec := dataset.Spec{
+		Code: "TST", Name: "test", Genes: 50, TumorSamples: 200, NormalSamples: 160,
+		Hits: 4, PlantedCombos: 3, DriverMutProb: 0.95,
+		TumorBackground: 0.01, NormalBackground: 0.002,
+		NoisyNormalFrac: 0.2, NoisyNormalRate: 0.5,
+	}
+	c, err := dataset.Generate(spec, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := c.Split(0.75, 7)
+
+	// Train with the planted ground truth (discovery is exercised in the
+	// cover package; here the planted combos isolate classifier behavior).
+	cls := FromGeneIDs(c.Planted)
+	ev, err := cls.Evaluate(test.Tumor, test.Normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Sensitivity.Point < 0.6 {
+		t.Errorf("sensitivity %.2f too low for planted drivers", ev.Sensitivity.Point)
+	}
+	if ev.Specificity.Point < 0.6 {
+		t.Errorf("specificity %.2f too low", ev.Specificity.Point)
+	}
+	if ev.Sensitivity.Lo > ev.Sensitivity.Point || ev.Sensitivity.Hi < ev.Sensitivity.Point {
+		t.Error("sensitivity CI does not bracket the point estimate")
+	}
+	_ = train
+}
+
+func TestAttributeFirstMatchWins(t *testing.T) {
+	m := bitmat.New(4, 5)
+	// Sample 0 matches both combos; samples 1-2 only the second; 3-4 none.
+	m.Set(0, 0)
+	m.Set(1, 0)
+	m.Set(2, 0)
+	m.Set(3, 0)
+	m.Set(2, 1)
+	m.Set(3, 1)
+	m.Set(2, 2)
+	m.Set(3, 2)
+	c := FromGeneIDs([][]int{{0, 1}, {2, 3}})
+	a := c.Attribute(m)
+	want := []int{0, 1, 1, -1, -1}
+	for s, w := range want {
+		if a.ComboFor[s] != w {
+			t.Fatalf("sample %d attributed to %d, want %d", s, a.ComboFor[s], w)
+		}
+	}
+	if a.Counts[0] != 1 || a.Counts[1] != 2 {
+		t.Fatalf("counts = %v", a.Counts)
+	}
+	// Attribution totals match the positive count.
+	total := 0
+	for _, n := range a.Counts {
+		total += n
+	}
+	if total != c.PredictPositives(m) {
+		t.Fatal("attribution totals disagree with PredictPositives")
+	}
+}
+
+func TestAttributeMatchesDiscoveryCoverage(t *testing.T) {
+	// On a planted cohort, attributing the training matrix with the
+	// discovered combinations reproduces each step's cover count.
+	spec := dataset.Spec{
+		Code: "TST", Name: "t", Genes: 40, TumorSamples: 120, NormalSamples: 100,
+		Hits: 4, PlantedCombos: 3, DriverMutProb: 0.95,
+		TumorBackground: 0.01, NormalBackground: 0.002,
+	}
+	cohort, err := dataset.Generate(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cover.Run(cohort.Tumor, cohort.Normal, cover.Options{Hits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := New(res.Combos())
+	a := cls.Attribute(cohort.Tumor)
+	for i, s := range res.Steps {
+		if a.Counts[i] != s.NewlyCovered {
+			t.Fatalf("combo %d explains %d samples, discovery covered %d",
+				i, a.Counts[i], s.NewlyCovered)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cover"
+	"repro/internal/dataset"
+)
+
+// A Campaign prices the paper's production run: full 4-hit discovery for
+// every cancer type in a panel, each as its own job on an allocation of
+// the machine ("allowing us to identify 4-hit combinations for the 11
+// cancer types estimated to require four or more hits", Sec. VI). Jobs
+// run sequentially on the same allocation, as a batch system would
+// schedule them.
+type Campaign struct {
+	// Nodes is the allocation size per job.
+	Nodes int
+	// Scheme is the kernel scheme for every job.
+	Scheme cover.Scheme
+	// Iterations models each cancer type's cover-loop length; 0 uses a
+	// size-scaled default.
+	Iterations int
+}
+
+// CampaignJob is one cancer type's priced run.
+type CampaignJob struct {
+	// Cancer is the study code.
+	Cancer string
+	// Genes, TumorSamples and NormalSamples echo the cohort shape.
+	Genes         int
+	TumorSamples  int
+	NormalSamples int
+	// RuntimeSec is the modeled job runtime.
+	RuntimeSec float64
+	// NodeHours is RuntimeSec × Nodes in hours.
+	NodeHours float64
+}
+
+// CampaignReport is the full panel study's cost.
+type CampaignReport struct {
+	// Jobs lists per-cancer runs in input order.
+	Jobs []CampaignJob
+	// TotalSec is the end-to-end wall time of the sequential campaign.
+	TotalSec float64
+	// TotalNodeHours is the allocation cost.
+	TotalNodeHours float64
+}
+
+// RunCampaign prices the panel on the machine. Workload iteration counts
+// default to a gentle function of cohort size (larger cohorts need more
+// combinations to cover).
+func RunCampaign(c Campaign, specs []dataset.Spec) (*CampaignReport, error) {
+	if c.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: campaign needs a positive node count")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: campaign has no cancer types")
+	}
+	scheme := c.Scheme
+	if scheme == cover.SchemeAuto {
+		scheme = cover.Scheme3x1
+	}
+	rep := &CampaignReport{}
+	for _, s := range specs {
+		iters := c.Iterations
+		if iters == 0 {
+			// Roughly one combination per 40 tumor samples, at least 6.
+			iters = s.TumorSamples/40 + 6
+		}
+		w := Workload{
+			Genes:         s.Genes,
+			TumorSamples:  s.TumorSamples,
+			NormalSamples: s.NormalSamples,
+			Scheme:        scheme,
+			Iterations:    iters,
+			SpliceShrink:  0.45,
+		}
+		run, err := Simulate(Summit(c.Nodes), w)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: campaign job %s: %w", s.Code, err)
+		}
+		job := CampaignJob{
+			Cancer:        s.Code,
+			Genes:         s.Genes,
+			TumorSamples:  s.TumorSamples,
+			NormalSamples: s.NormalSamples,
+			RuntimeSec:    run.RuntimeSec,
+			NodeHours:     run.RuntimeSec * float64(c.Nodes) / 3600,
+		}
+		rep.Jobs = append(rep.Jobs, job)
+		rep.TotalSec += job.RuntimeSec
+		rep.TotalNodeHours += job.NodeHours
+	}
+	return rep, nil
+}

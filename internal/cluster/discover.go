@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitmat"
+	"repro/internal/cover"
+	"repro/internal/gpusim"
+	"repro/internal/mpisim"
+	"repro/internal/reduce"
+	"repro/internal/sched"
+)
+
+// DiscoverResult is the outcome of a distributed discovery run.
+type DiscoverResult struct {
+	// Steps lists the chosen combinations in greedy order with their
+	// newly-covered counts.
+	Steps []cover.Step
+	// Covered is the total number of tumor samples covered.
+	Covered int
+	// Uncoverable is the count of tumor samples no combination covers.
+	Uncoverable int
+	// VirtualSeconds is the modeled job time under the virtual clock.
+	VirtualSeconds float64
+	// Ranks is the per-rank compute/communication ledger.
+	Ranks []RankReport
+}
+
+// Discover runs the full greedy cover distributed across the simulated
+// cluster: each MPI rank executes the real kernels over its GPUs' λ
+// partitions, per-rank winners are reduced to rank 0 and broadcast, and
+// every rank updates its active-sample mask identically. The discovered
+// cover is bit-for-bit the one cover.Run finds on a single machine; the
+// virtual clock prices each rank's GPU work with the device model.
+//
+// Every rank holds the full input matrices (as on Summit, where the
+// compressed inputs are small); only the 20-byte winners cross the fabric.
+func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*DiscoverResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if tumor.Genes() != normal.Genes() {
+		return nil, fmt.Errorf("cluster: tumor has %d genes, normal has %d",
+			tumor.Genes(), normal.Genes())
+	}
+	if tumor.Samples() == 0 {
+		return nil, fmt.Errorf("cluster: no tumor samples")
+	}
+	if opt.BitSplice {
+		return nil, fmt.Errorf("cluster: Discover uses mask-based exclusion; disable BitSplice")
+	}
+
+	// Resolve scheme/hits defaults through a FindBestRange dry run.
+	if _, _, err := cover.FindBestRange(tumor, normal, nil, opt, 0, 0); err != nil {
+		return nil, err
+	}
+
+	w := Workload{
+		Genes:         tumor.Genes(),
+		TumorSamples:  tumor.Samples(),
+		NormalSamples: normal.Samples(),
+		Scheme:        opt.Scheme,
+		Scheduler:     opt.Scheduler,
+		Iterations:    1,
+	}
+	if w.Scheme == cover.SchemeAuto {
+		switch opt.Hits {
+		case 2:
+			w.Scheme = cover.SchemePair
+		case 3:
+			w.Scheme = cover.Scheme2x1
+		default:
+			w.Scheme = cover.Scheme3x1
+		}
+	}
+	curve := w.curve()
+	// Hierarchical schedule, as on the real machine: ranks split the
+	// domain equi-area, then each rank splits its share across its GPUs
+	// (Fig. 1). Under equi-distance both levels split by thread count.
+	var perNode [][]sched.Partition
+	if opt.Scheduler == cover.EquiDistance {
+		nodeParts := sched.EquiDistance(curve, spec.Nodes)
+		for _, np := range nodeParts {
+			sub := sched.EquiDistance(sched.NewFlat(np.Size()), spec.GPUsPerNode)
+			var shifted []sched.Partition
+			for _, p := range sub {
+				shifted = append(shifted, sched.Partition{Lo: np.Lo + p.Lo, Hi: np.Lo + p.Hi})
+			}
+			perNode = append(perNode, shifted)
+		}
+	} else {
+		tl := sched.NewTwoLevel(curve, spec.Nodes, spec.GPUsPerNode)
+		perNode = tl.PerNode
+	}
+	rowWords := w.words(tumor.Samples())
+	prefetch := w.prefetchRows()
+	irr := w.irregularity()
+	spanCap := w.spanCap()
+
+	res := &DiscoverResult{}
+	var mu sync.Mutex // guards res.Steps appends from rank 0
+
+	world := mpisim.NewWorld(spec.Nodes, spec.Comm)
+	err := world.Run(func(r *mpisim.Rank) error {
+		active := bitmat.AllOnes(tumor.Samples())
+		buf := make([]uint64, tumor.Words())
+		for iter := 0; opt.MaxIterations == 0 || iter < opt.MaxIterations; iter++ {
+			if active.PopCount() == 0 {
+				break
+			}
+			// Each of this rank's GPUs evaluates its partition.
+			local := reduce.None
+			var evaluated uint64
+			busiest := 0.0
+			for d := 0; d < spec.GPUsPerNode; d++ {
+				g := r.ID()*spec.GPUsPerNode + d
+				part := perNode[r.ID()][d]
+				best, n, err := cover.FindBestRange(tumor, normal, active, opt, part.Lo, part.Hi)
+				if err != nil {
+					return err
+				}
+				if best.Better(local) {
+					local = best
+				}
+				evaluated += n
+				m := spec.Device.Simulate(gpusim.Job{
+					Threads:      part.Size(),
+					Combos:       curve.PrefixWork(part.Hi) - curve.PrefixWork(part.Lo),
+					RowWords:     rowWords,
+					PrefetchRows: prefetch,
+					Irregularity: irr,
+					SpanCap:      spanCap,
+					DeviceIndex:  g,
+				})
+				if m.BusySeconds > busiest {
+					busiest = m.BusySeconds
+				}
+			}
+			r.Compute(busiest + spec.IterOverheadSec)
+
+			folded := r.Reduce(local, reduce.BytesPerRecord, combineCombo)
+			winner := r.Bcast(folded, reduce.BytesPerRecord).(reduce.Combo)
+			evalSum := r.Reduce(evaluated, 8, func(a, b any) any {
+				return a.(uint64) + b.(uint64)
+			})
+			totalEval := r.Bcast(evalSum, 8).(uint64)
+
+			if winner == reduce.None {
+				break
+			}
+			// Every rank applies the identical exclusion.
+			tumor.ComboVec(buf, winner.GeneIDs()...)
+			cov := bitmat.NewVec(tumor.Samples())
+			copy(cov.Words(), buf)
+			cov.And(active)
+			newly := cov.PopCount()
+			if newly == 0 {
+				if r.ID() == 0 {
+					res.Uncoverable = active.PopCount()
+				}
+				break
+			}
+			active.AndNot(cov)
+			if r.ID() == 0 {
+				mu.Lock()
+				res.Steps = append(res.Steps, cover.Step{
+					Combo:        winner,
+					NewlyCovered: newly,
+					ActiveAfter:  active.PopCount(),
+					Evaluated:    totalEval,
+				})
+				res.Covered += newly
+				mu.Unlock()
+			}
+		}
+		if r.ID() == 0 && res.Uncoverable == 0 {
+			res.Uncoverable = active.PopCount()
+			if opt.MaxIterations > 0 && len(res.Steps) == opt.MaxIterations {
+				res.Uncoverable = 0
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.VirtualSeconds = spec.StartupSec + world.MaxClock()
+	for n := 0; n < spec.Nodes; n++ {
+		res.Ranks = append(res.Ranks, RankReport{
+			Rank:       n,
+			ComputeSec: world.ComputeTime(n),
+			CommSec:    world.CommTime(n),
+			WaitSec:    world.WaitTime(n),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,22 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/cover"
+)
+
+// Strong scaling on the Summit model: the efficiency ladder of Fig. 4(a).
+func ExampleStrongScaling() {
+	pts, err := cluster.StrongScaling(cluster.BRCA4Hit(cover.Scheme3x1),
+		[]int{100, 1000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("baseline %d nodes; at %d nodes efficiency is %.2f\n",
+		pts[0].Nodes, pts[1].Nodes, pts[1].Efficiency)
+	// Output:
+	// baseline 100 nodes; at 1000 nodes efficiency is 0.85
+}

@@ -1,0 +1,263 @@
+// Package combinat provides the combinatorial index arithmetic at the heart
+// of the multi-hit weighted-set-cover engine: exact binomial coefficients and
+// the bijective "linear thread id" maps between a flat index λ and the upper
+// triangular (i < j) or upper tetrahedral (i < j < k) coordinate spaces.
+//
+// The maps implement Algorithms 1–3 of Dash et al. (IPDPS 2021). A GPU (or a
+// goroutine worker standing in for one) is handed a contiguous range of λ
+// values; each λ decodes to a unique gene tuple, so no two threads ever
+// process the same combination and no thread sits idle on the redundant
+// half (or five-sixths) of the full G×G (×G) index cube.
+//
+// Two decoding strategies are provided:
+//
+//   - The exact integer decoders (LinearToPair, LinearToTriple) use a
+//     floating-point initial guess followed by an integer fix-up loop, and
+//     are exact for every index representable in a uint64.
+//   - The "paper" float decoders (PaperPairJ, PaperTripleK) reproduce the
+//     closed-form floating-point expressions from the paper, including the
+//     log/exp evaluation of sqrt(729λ²−3) that avoids 128-bit arithmetic
+//     (Sec. III-F). They are used by experiment E13 to quantify how far the
+//     raw float estimate drifts from the exact answer at TCGA scale.
+package combinat
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// MaxUint64 is the largest value representable in the linear index domain.
+const MaxUint64 = math.MaxUint64
+
+// Binomial returns C(n, k) and reports whether the computation overflowed
+// uint64. The multiply-then-divide ladder keeps intermediate values exact:
+// after step i the accumulator equals C(n, i+1), which is always divisible
+// at that point.
+func Binomial(n, k uint64) (uint64, bool) {
+	if k > n {
+		return 0, true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c uint64 = 1
+	for i := uint64(0); i < k; i++ {
+		// c = c * (n-i) / (i+1), with overflow detection on the multiply.
+		hi, lo := bits.Mul64(c, n-i)
+		d := i + 1
+		if hi >= d {
+			return 0, false
+		}
+		c, _ = bits.Div64(hi, lo, d)
+	}
+	return c, true
+}
+
+// MustBinomial returns C(n, k), panicking on uint64 overflow. It is intended
+// for the G ≈ 2·10⁴, h ≤ 4 regime of the paper, where C(20000, 4) ≈ 6.7·10¹⁵
+// comfortably fits in 64 bits.
+func MustBinomial(n, k uint64) uint64 {
+	c, ok := Binomial(n, k)
+	if !ok {
+		panic(fmt.Sprintf("combinat: C(%d, %d) overflows uint64", n, k))
+	}
+	return c
+}
+
+// Tri returns the triangular number C(k, 2) = k(k−1)/2. The even factor is
+// divided out before the multiply so the result is exact whenever it fits.
+func Tri(k uint64) uint64 {
+	if k%2 == 0 {
+		return k / 2 * (k - 1)
+	}
+	return (k - 1) / 2 * k
+}
+
+// Tet returns the tetrahedral number C(k, 3) = k(k−1)(k−2)/6.
+func Tet(k uint64) uint64 {
+	if k < 3 {
+		return 0
+	}
+	return MustBinomial(k, 3)
+}
+
+// PairToLinear maps an ordered pair (i, j) with i < j to its linear index
+// λ = C(j, 2) + i. Pairs enumerate in increasing j, then increasing i, which
+// makes the per-thread inner-loop workload (a function of j alone in the
+// 3-hit kernel) monotone in λ — the property the equi-area scheduler
+// exploits.
+func PairToLinear(i, j uint64) uint64 {
+	if i >= j {
+		panic(fmt.Sprintf("combinat: PairToLinear requires i < j, got (%d, %d)", i, j))
+	}
+	return Tri(j) + i
+}
+
+// LinearToPair inverts PairToLinear: it returns the unique (i, j), i < j,
+// with λ = C(j, 2) + i. Exact for all λ < C(2³², 2).
+func LinearToPair(lambda uint64) (i, j uint64) {
+	// Float guess: j ≈ floor(sqrt(2λ + ¼) + ½)  (Algorithm 1, line 2).
+	j = uint64(math.Sqrt(2*float64(lambda)+0.25) + 0.5)
+	// Integer fix-up: float error is at most a few ulps, so a short walk
+	// lands on the unique j with Tri(j) ≤ λ < Tri(j+1).
+	for j > 0 && Tri(j) > lambda {
+		j--
+	}
+	for Tri(j+1) <= lambda {
+		j++
+	}
+	return lambda - Tri(j), j
+}
+
+// TripleToLinear maps an ordered triple (i, j, k) with i < j < k to its
+// linear index λ = C(k, 3) + C(j, 2) + i. Triples enumerate in increasing k,
+// then j, then i; in the 4-hit 3x1 kernel the inner-loop trip count G−1−k is
+// therefore non-increasing in λ, which yields the discrete "workload levels"
+// of Fig. 2.
+func TripleToLinear(i, j, k uint64) uint64 {
+	if i >= j || j >= k {
+		panic(fmt.Sprintf("combinat: TripleToLinear requires i < j < k, got (%d, %d, %d)", i, j, k))
+	}
+	return Tet(k) + Tri(j) + i
+}
+
+// LinearToTriple inverts TripleToLinear: the unique (i, j, k), i < j < k,
+// with λ = C(k, 3) + C(j, 2) + i. The initial guess solves the real cubic
+// k³ ≈ 6λ; the fix-up walk makes the answer exact for all λ that fit a
+// uint64 (covering G well beyond the paper's 19 411 genes).
+func LinearToTriple(lambda uint64) (i, j, k uint64) {
+	k = uint64(math.Cbrt(6 * float64(lambda)))
+	if k < 2 {
+		k = 2
+	}
+	for k > 2 && Tet(k) > lambda {
+		k--
+	}
+	for Tet(k+1) <= lambda {
+		k++
+	}
+	rem := lambda - Tet(k)
+	i, j = LinearToPair(rem)
+	return i, j, k
+}
+
+// PaperPairJ reproduces the paper's closed-form float estimate for the pair
+// decode (Algorithm 1, line 2): j = floor(sqrt(¼ + 2λ) + ½). Unlike
+// LinearToPair it applies no integer correction; experiment E13 measures its
+// drift.
+func PaperPairJ(lambda uint64) uint64 {
+	return uint64(math.Floor(math.Sqrt(0.25+2*float64(lambda)) + 0.5))
+}
+
+// PaperTripleK reproduces the paper's closed-form float estimate for the
+// largest coordinate of the triple decode (Algorithm 3, lines 2–3):
+//
+//	q = cbrt(sqrt(729λ² − 3) + 27λ)
+//	k ≈ q / 3^(2/3) + 1 / (3q)^(1/3) − 1
+//
+// solving the real cubic k(k+1)(k+2)/6 = λ via Cardano's formula (for the
+// 1-indexed tetrahedral numbering used in the paper; the result is offset to
+// this package's 0-indexed convention by the caller where needed).
+func PaperTripleK(lambda uint64) uint64 {
+	if lambda == 0 {
+		return 0
+	}
+	a := PaperSqrt729(lambda)
+	q := math.Cbrt(a + 27*float64(lambda))
+	k := q/math.Cbrt(9) + 1/math.Cbrt(3*q) - 1
+	if k < 0 {
+		return 0
+	}
+	return uint64(math.Floor(k))
+}
+
+// PaperSqrt729 evaluates A = sqrt(729λ² − 3) without 128-bit arithmetic
+// using the paper's log/exp identity (Sec. III-F):
+//
+//	A = exp(½ · (log(3λ) + log(243λ − 1/λ)))
+//
+// since 729λ² − 3 = 3λ · (243λ − 1/λ).
+func PaperSqrt729(lambda uint64) float64 {
+	l := float64(lambda)
+	return math.Exp(0.5 * (math.Log(3*l) + math.Log(243*l-1/l)))
+}
+
+// ExactSqrt729 evaluates floor(sqrt(729λ² − 3)) with exact 128-bit integer
+// arithmetic, as ground truth for E13's accuracy comparison against the
+// log/exp evaluation.
+func ExactSqrt729(lambda uint64) float64 {
+	hi, lo := bits.Mul64(lambda, lambda)
+	// 729λ²: multiply the 128-bit square by 729.
+	h2, l2 := mulAdd128(hi, lo, 729)
+	// Subtract 3.
+	if l2 < 3 {
+		h2--
+	}
+	l2 -= 3
+	return sqrt128(h2, l2)
+}
+
+// mulAdd128 multiplies the 128-bit value (hi, lo) by the small constant m,
+// assuming the product fits in 128 bits.
+func mulAdd128(hi, lo, m uint64) (uint64, uint64) {
+	h1, l1 := bits.Mul64(lo, m)
+	_, l2 := bits.Mul64(hi, m)
+	return l2 + h1, l1
+}
+
+// sqrt128 returns sqrt(hi·2⁶⁴ + lo) as a float64.
+func sqrt128(hi, lo uint64) float64 {
+	v := float64(hi)*math.Exp2(64) + float64(lo)
+	return math.Sqrt(v)
+}
+
+// Quad returns the 4-simplex number C(k, 4).
+func Quad(k uint64) uint64 {
+	if k < 4 {
+		return 0
+	}
+	return MustBinomial(k, 4)
+}
+
+// QuadToLinear maps an ordered quadruple (i, j, k, l) with i < j < k < l to
+// its linear index λ = C(l, 4) + C(k, 3) + C(j, 2) + i — the thread id of
+// the 4x1 scheme, where every thread evaluates exactly one combination.
+func QuadToLinear(i, j, k, l uint64) uint64 {
+	if i >= j || j >= k || k >= l {
+		panic(fmt.Sprintf("combinat: QuadToLinear requires i < j < k < l, got (%d, %d, %d, %d)",
+			i, j, k, l))
+	}
+	return Quad(l) + Tet(k) + Tri(j) + i
+}
+
+// LinearToQuad inverts QuadToLinear. The initial guess solves the real
+// quartic l⁴ ≈ 24λ; the fix-up walk makes the decode exact for all λ that
+// fit a uint64.
+func LinearToQuad(lambda uint64) (i, j, k, l uint64) {
+	l = uint64(math.Sqrt(math.Sqrt(24 * float64(lambda))))
+	if l < 3 {
+		l = 3
+	}
+	for l > 3 && Quad(l) > lambda {
+		l--
+	}
+	for Quad(l+1) <= lambda {
+		l++
+	}
+	rem := lambda - Quad(l)
+	i, j, k = LinearToTriple(rem)
+	return i, j, k, l
+}
+
+// PairCount returns the number of pairs over g genes, C(g, 2) — the λ-domain
+// size for the 2x2 scheme.
+func PairCount(g uint64) uint64 { return Tri(g) }
+
+// TripleCount returns the number of triples over g genes, C(g, 3) — the
+// λ-domain size for the 3x1 scheme.
+func TripleCount(g uint64) uint64 { return Tet(g) }
+
+// QuadCount returns the number of 4-combinations over g genes, C(g, 4) — the
+// total 4-hit workload in combinations.
+func QuadCount(g uint64) uint64 { return MustBinomial(g, 4) }

@@ -1,0 +1,351 @@
+package combinat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, k, want uint64
+	}{
+		{0, 0, 1},
+		{1, 0, 1},
+		{1, 1, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{10, 7, 120},
+		{20, 10, 184756},
+		{52, 5, 2598960},
+		{64, 32, 1832624140942590534},
+	}
+	for _, c := range cases {
+		got, ok := Binomial(c.n, c.k)
+		if !ok {
+			t.Fatalf("Binomial(%d,%d) reported overflow", c.n, c.k)
+		}
+		if got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialKGreaterThanN(t *testing.T) {
+	if got, _ := Binomial(3, 5); got != 0 {
+		t.Errorf("Binomial(3,5) = %d, want 0", got)
+	}
+}
+
+func TestBinomialPaperScale(t *testing.T) {
+	// The paper's BRCA gene count.
+	const G = 19411
+	c3 := MustBinomial(G, 3)
+	c4 := MustBinomial(G, 4)
+	// C(19411,3) = 19411*19410*19409/6
+	want3 := uint64(19411) * 19410 / 2 * 19409 / 3
+	if c3 != want3 {
+		t.Errorf("C(G,3) = %d, want %d", c3, want3)
+	}
+	// Paper Sec. II-B: M ≈ 7e15 for G ≈ 20000; at BRCA's G = 19411 the
+	// exact quad count is ~5.9e15.
+	if c4 < 5.8e15 || c4 > 6.0e15 {
+		t.Errorf("C(G,4) = %d, outside the expected ~5.9e15 band", c4)
+	}
+	// Pascal identity ties the two together.
+	if MustBinomial(G+1, 4) != c4+c3 {
+		t.Error("Pascal identity C(G+1,4) = C(G,4)+C(G,3) violated")
+	}
+}
+
+func TestBinomialOverflowDetected(t *testing.T) {
+	if _, ok := Binomial(1<<40, 4); ok {
+		t.Error("expected overflow for C(2^40, 4)")
+	}
+	if _, ok := Binomial(300, 150); ok {
+		t.Error("expected overflow for C(300, 150)")
+	}
+}
+
+func TestMustBinomialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBinomial did not panic on overflow")
+		}
+	}()
+	MustBinomial(300, 150)
+}
+
+func TestTriTet(t *testing.T) {
+	for k := uint64(0); k < 200; k++ {
+		if want := MustBinomial(k, 2); Tri(k) != want {
+			t.Fatalf("Tri(%d) = %d, want %d", k, Tri(k), want)
+		}
+		if want := MustBinomial(k, 3); Tet(k) != want {
+			t.Fatalf("Tet(%d) = %d, want %d", k, Tet(k), want)
+		}
+	}
+}
+
+func TestPairRoundTripExhaustive(t *testing.T) {
+	const G = 120
+	var lambda uint64
+	for j := uint64(1); j < G; j++ {
+		for i := uint64(0); i < j; i++ {
+			if got := PairToLinear(i, j); got != lambda {
+				t.Fatalf("PairToLinear(%d,%d) = %d, want %d", i, j, got, lambda)
+			}
+			gi, gj := LinearToPair(lambda)
+			if gi != i || gj != j {
+				t.Fatalf("LinearToPair(%d) = (%d,%d), want (%d,%d)", lambda, gi, gj, i, j)
+			}
+			lambda++
+		}
+	}
+	if lambda != PairCount(G) {
+		t.Fatalf("enumerated %d pairs, want C(%d,2)=%d", lambda, G, PairCount(G))
+	}
+}
+
+func TestTripleRoundTripExhaustive(t *testing.T) {
+	const G = 40
+	var lambda uint64
+	for k := uint64(2); k < G; k++ {
+		for j := uint64(1); j < k; j++ {
+			for i := uint64(0); i < j; i++ {
+				if got := TripleToLinear(i, j, k); got != lambda {
+					t.Fatalf("TripleToLinear(%d,%d,%d) = %d, want %d", i, j, k, got, lambda)
+				}
+				gi, gj, gk := LinearToTriple(lambda)
+				if gi != i || gj != j || gk != k {
+					t.Fatalf("LinearToTriple(%d) = (%d,%d,%d), want (%d,%d,%d)",
+						lambda, gi, gj, gk, i, j, k)
+				}
+				lambda++
+			}
+		}
+	}
+	if lambda != TripleCount(G) {
+		t.Fatalf("enumerated %d triples, want C(%d,3)=%d", lambda, G, TripleCount(G))
+	}
+}
+
+func TestPairRoundTripProperty(t *testing.T) {
+	// Bijectivity at arbitrary 64-bit scale: decode then re-encode is the
+	// identity, and the decoded pair is strictly ordered.
+	f := func(raw uint64) bool {
+		lambda := raw % PairCount(1<<31)
+		i, j := LinearToPair(lambda)
+		return i < j && PairToLinear(i, j) == lambda
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleRoundTripProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		lambda := raw % TripleCount(2_000_000)
+		i, j, k := LinearToTriple(lambda)
+		return i < j && j < k && TripleToLinear(i, j, k) == lambda
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleDecodeAtPaperScale(t *testing.T) {
+	// Spot-check exactness at the paper's BRCA scale, G = 19411, around
+	// level boundaries where float cube roots are most fragile.
+	const G = 19411
+	for k := uint64(G - 5); k < G; k++ {
+		for _, lambda := range []uint64{Tet(k), Tet(k) + 1, Tet(k+1) - 1} {
+			_, _, gk := LinearToTriple(lambda)
+			if lambda < Tet(k+1) && gk != k {
+				t.Errorf("LinearToTriple(%d): k = %d, want %d", lambda, gk, k)
+			}
+		}
+	}
+}
+
+func TestTripleOrderingMonotone(t *testing.T) {
+	// The 3x1 scheduler depends on k being non-decreasing in λ.
+	rng := rand.New(rand.NewSource(42))
+	prevK := uint64(0)
+	var lambdas []uint64
+	for n := 0; n < 1000; n++ {
+		lambdas = append(lambdas, rng.Uint64()%TripleCount(19411))
+	}
+	// Sort by insertion into increasing order.
+	for i := 1; i < len(lambdas); i++ {
+		for j := i; j > 0 && lambdas[j] < lambdas[j-1]; j-- {
+			lambdas[j], lambdas[j-1] = lambdas[j-1], lambdas[j]
+		}
+	}
+	for _, l := range lambdas {
+		_, _, k := LinearToTriple(l)
+		if k < prevK {
+			t.Fatalf("k not monotone: λ=%d gives k=%d after k=%d", l, k, prevK)
+		}
+		prevK = k
+	}
+}
+
+func TestPaperPairJAccuracy(t *testing.T) {
+	// The paper's closed form (with its 1-indexed convention) should land
+	// within one step of the exact 0-indexed j for all tested λ.
+	for _, lambda := range []uint64{0, 1, 2, 10, 1000, 1 << 20, 1 << 40, 1 << 52} {
+		_, j := LinearToPair(lambda)
+		pj := PaperPairJ(lambda)
+		diff := int64(pj) - int64(j)
+		if diff < -1 || diff > 1 {
+			t.Errorf("PaperPairJ(%d) = %d, exact j = %d (drift %d)", lambda, pj, j, diff)
+		}
+	}
+}
+
+func TestPaperTripleKAccuracy(t *testing.T) {
+	// The Cardano closed form solves the 1-indexed cubic; it must stay
+	// within a couple of steps of the exact 0-indexed k even at the top of
+	// the BRCA λ-domain — the fix-up walk in LinearToTriple absorbs this.
+	const G = 19411
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 5000; n++ {
+		lambda := rng.Uint64() % TripleCount(G)
+		_, _, k := LinearToTriple(lambda)
+		pk := PaperTripleK(lambda)
+		diff := int64(pk) - int64(k)
+		if diff < -3 || diff > 3 {
+			t.Errorf("PaperTripleK(%d) = %d, exact k = %d (drift %d)", lambda, pk, k, diff)
+		}
+	}
+}
+
+func TestLogExpSqrtIdentity(t *testing.T) {
+	// Sec. III-F: the log/exp evaluation of sqrt(729λ²−3) must agree with
+	// exact 128-bit arithmetic to float64 precision across the λ range.
+	for _, lambda := range []uint64{1, 2, 10, 12345, 1 << 30, 1 << 40, TripleCount(19411) - 1} {
+		got := PaperSqrt729(lambda)
+		want := ExactSqrt729(lambda)
+		rel := math.Abs(got-want) / want
+		if rel > 1e-12 {
+			t.Errorf("PaperSqrt729(%d) = %g, exact = %g (rel err %g)", lambda, got, want, rel)
+		}
+	}
+}
+
+func TestPairToLinearPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PairToLinear(3,3) did not panic")
+		}
+	}()
+	PairToLinear(3, 3)
+}
+
+func TestTripleToLinearPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TripleToLinear(1,5,5) did not panic")
+		}
+	}()
+	TripleToLinear(1, 5, 5)
+}
+
+func TestCountHelpers(t *testing.T) {
+	if PairCount(20000) != MustBinomial(20000, 2) {
+		t.Error("PairCount mismatch")
+	}
+	if TripleCount(20000) != MustBinomial(20000, 3) {
+		t.Error("TripleCount mismatch")
+	}
+	if QuadCount(20000) != MustBinomial(20000, 4) {
+		t.Error("QuadCount mismatch")
+	}
+}
+
+func BenchmarkLinearToPair(b *testing.B) {
+	lambda := PairCount(19411) - 7
+	for n := 0; n < b.N; n++ {
+		i, j := LinearToPair(lambda)
+		if i >= j {
+			b.Fatal("bad decode")
+		}
+	}
+}
+
+func BenchmarkLinearToTriple(b *testing.B) {
+	lambda := TripleCount(19411) - 7
+	for n := 0; n < b.N; n++ {
+		i, j, k := LinearToTriple(lambda)
+		if i >= j || j >= k {
+			b.Fatal("bad decode")
+		}
+	}
+}
+
+func BenchmarkPaperTripleK(b *testing.B) {
+	lambda := TripleCount(19411) - 7
+	var sink uint64
+	for n := 0; n < b.N; n++ {
+		sink += PaperTripleK(lambda)
+	}
+	_ = sink
+}
+
+func TestQuadRoundTripExhaustive(t *testing.T) {
+	const G = 20
+	var lambda uint64
+	for l := uint64(3); l < G; l++ {
+		for k := uint64(2); k < l; k++ {
+			for j := uint64(1); j < k; j++ {
+				for i := uint64(0); i < j; i++ {
+					if got := QuadToLinear(i, j, k, l); got != lambda {
+						t.Fatalf("QuadToLinear(%d,%d,%d,%d) = %d, want %d",
+							i, j, k, l, got, lambda)
+					}
+					gi, gj, gk, gl := LinearToQuad(lambda)
+					if gi != i || gj != j || gk != k || gl != l {
+						t.Fatalf("LinearToQuad(%d) = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+							lambda, gi, gj, gk, gl, i, j, k, l)
+					}
+					lambda++
+				}
+			}
+		}
+	}
+	if lambda != QuadCount(G) {
+		t.Fatalf("enumerated %d quads, want C(%d,4)=%d", lambda, G, QuadCount(G))
+	}
+}
+
+func TestQuadRoundTripProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		lambda := raw % QuadCount(19411)
+		i, j, k, l := LinearToQuad(lambda)
+		return i < j && j < k && k < l && QuadToLinear(i, j, k, l) == lambda
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadToLinearPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("QuadToLinear(0,1,2,2) did not panic")
+		}
+	}()
+	QuadToLinear(0, 1, 2, 2)
+}
+
+func BenchmarkLinearToQuad(b *testing.B) {
+	lambda := QuadCount(19411) - 7
+	for n := 0; n < b.N; n++ {
+		i, j, k, l := LinearToQuad(lambda)
+		if i >= j || j >= k || k >= l {
+			b.Fatal("bad decode")
+		}
+	}
+}

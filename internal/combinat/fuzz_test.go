@@ -1,0 +1,39 @@
+package combinat
+
+import "testing"
+
+// FuzzLinearToTriple checks decode/encode bijectivity and ordering at
+// arbitrary λ, the property every kernel's thread assignment rests on.
+func FuzzLinearToTriple(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(TripleCount(19411) - 1)
+	f.Add(uint64(1) << 40)
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		lambda := raw % TripleCount(3_000_000)
+		i, j, k := LinearToTriple(lambda)
+		if i >= j || j >= k {
+			t.Fatalf("λ=%d decoded to unordered (%d,%d,%d)", lambda, i, j, k)
+		}
+		if got := TripleToLinear(i, j, k); got != lambda {
+			t.Fatalf("λ=%d round-tripped to %d", lambda, got)
+		}
+	})
+}
+
+// FuzzLinearToQuad does the same for the 4-simplex map behind the 4x1 and
+// 5-hit kernels.
+func FuzzLinearToQuad(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(QuadCount(19411) - 1)
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		lambda := raw % QuadCount(100_000)
+		i, j, k, l := LinearToQuad(lambda)
+		if i >= j || j >= k || k >= l {
+			t.Fatalf("λ=%d decoded to unordered (%d,%d,%d,%d)", lambda, i, j, k, l)
+		}
+		if got := QuadToLinear(i, j, k, l); got != lambda {
+			t.Fatalf("λ=%d round-tripped to %d", lambda, got)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package combinat
+
+import "fmt"
+
+// The combinatorial number system generalizes the triangular/tetrahedral
+// maps to any subset size: every h-subset {c₁ < c₂ < … < c_h} has the
+// unique rank Σᵢ C(cᵢ, i). The specialized pair/triple/quad maps are the
+// h = 2, 3, 4 instances with hand-tuned decoders; Rank/Unrank serve any h
+// (and differential-test the specialized maps).
+
+// Rank maps a strictly increasing combination to its linear index.
+func Rank(combo []uint64) uint64 {
+	var r uint64
+	for i, c := range combo {
+		if i > 0 && combo[i-1] >= c {
+			panic(fmt.Sprintf("combinat: Rank requires a strictly increasing combination, got %v", combo))
+		}
+		r += MustBinomial(c, uint64(i+1))
+	}
+	return r
+}
+
+// Unrank inverts Rank for subsets of size h: it returns the unique
+// strictly increasing combination with the given rank. It panics if h is 0.
+func Unrank(rank uint64, h int) []uint64 {
+	if h <= 0 {
+		panic(fmt.Sprintf("combinat: Unrank needs h ≥ 1, got %d", h))
+	}
+	combo := make([]uint64, h)
+	remaining := rank
+	for i := h; i >= 1; i-- {
+		// Largest c with C(c, i) ≤ remaining.
+		c := greatestBinomialAtMost(remaining, uint64(i))
+		combo[i-1] = c
+		remaining -= MustBinomial(c, uint64(i))
+	}
+	return combo
+}
+
+// greatestBinomialAtMost returns the largest c with C(c, i) ≤ target.
+func greatestBinomialAtMost(target, i uint64) uint64 {
+	// Exponential search for an upper bound, then binary search.
+	lo, hi := i-1, i
+	for {
+		v, ok := Binomial(hi, i)
+		if !ok || v > target {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		v, ok := Binomial(mid, i)
+		if ok && v <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,93 @@
+package combinat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRankUnrankExhaustive(t *testing.T) {
+	// For each subset size, enumerate every combination of a small
+	// universe and check ranks are sequential in colexicographic order.
+	for h := 1; h <= 5; h++ {
+		const n = 12
+		count := MustBinomial(n, uint64(h))
+		seen := make([]bool, count)
+		for rank := uint64(0); rank < count; rank++ {
+			combo := Unrank(rank, h)
+			for i := 1; i < h; i++ {
+				if combo[i-1] >= combo[i] {
+					t.Fatalf("h=%d rank=%d: %v not increasing", h, rank, combo)
+				}
+			}
+			if combo[h-1] >= n {
+				t.Fatalf("h=%d rank=%d: %v escapes the universe", h, rank, combo)
+			}
+			if got := Rank(combo); got != rank {
+				t.Fatalf("h=%d: Rank(Unrank(%d)) = %d", h, rank, got)
+			}
+			if seen[rank] {
+				t.Fatalf("h=%d rank=%d visited twice", h, rank)
+			}
+			seen[rank] = true
+		}
+	}
+}
+
+func TestRankMatchesSpecializedMaps(t *testing.T) {
+	// The combinatorial number system must agree with the hand-tuned
+	// pair/triple/quad decoders at arbitrary indices.
+	f := func(raw uint64) bool {
+		l2 := raw % PairCount(100000)
+		i, j := LinearToPair(l2)
+		if Rank([]uint64{i, j}) != l2 {
+			return false
+		}
+		l3 := raw % TripleCount(100000)
+		a, b, c := LinearToTriple(l3)
+		if Rank([]uint64{a, b, c}) != l3 {
+			return false
+		}
+		l4 := raw % QuadCount(50000)
+		w, x, y, z := LinearToQuad(l4)
+		return Rank([]uint64{w, x, y, z}) == l4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnrankPaperScale(t *testing.T) {
+	// Round trip at the top of the BRCA 4-hit domain.
+	lambda := QuadCount(19411) - 1
+	combo := Unrank(lambda, 4)
+	if Rank(combo) != lambda {
+		t.Fatalf("paper-scale round trip failed: %v", combo)
+	}
+	if combo[3] != 19410 {
+		t.Fatalf("last combination should end at gene G-1, got %v", combo)
+	}
+}
+
+func TestRankPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Rank([]uint64{3, 3}) },
+		func() { Rank([]uint64{5, 2}) },
+		func() { Unrank(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkUnrank4(b *testing.B) {
+	lambda := QuadCount(19411) - 7
+	for n := 0; n < b.N; n++ {
+		Unrank(lambda, 4)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/dataset"
+)
+
+func testSpec() dataset.Spec {
+	return dataset.Spec{
+		Code: "TST", Name: "test cohort", Genes: 50, TumorSamples: 160, NormalSamples: 140,
+		Hits: 4, PlantedCombos: 3, DriverMutProb: 0.9,
+		TumorBackground: 0.01, NormalBackground: 0.002,
+		NoisyNormalFrac: 0.3, NoisyNormalRate: 0.3,
+	}
+}
+
+func TestDiscoverAttachesSymbols(t *testing.T) {
+	c, err := dataset.Generate(testSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(c, cover.Options{Hits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancer != "TST" {
+		t.Fatalf("cancer code %q", res.Cancer)
+	}
+	if len(res.Combos) == 0 {
+		t.Fatal("no combinations discovered")
+	}
+	for _, combo := range res.Combos {
+		if len(combo.GeneIDs) != 4 || len(combo.Symbols) != 4 {
+			t.Fatalf("combo %+v malformed", combo)
+		}
+		for i, id := range combo.GeneIDs {
+			if c.GeneSymbols[id] != combo.Symbols[i] {
+				t.Fatalf("symbol mismatch for gene %d", id)
+			}
+		}
+		if combo.NewlyCovered <= 0 {
+			t.Fatal("combo with no coverage recorded")
+		}
+	}
+	if res.Covered+res.Uncoverable != c.Nt() {
+		t.Fatalf("covered %d + uncoverable %d != %d tumors",
+			res.Covered, res.Uncoverable, c.Nt())
+	}
+	s := res.Combos[0].String()
+	if !strings.Contains(s, "+") || !strings.Contains(s, "F=") {
+		t.Fatalf("Combo.String() = %q", s)
+	}
+}
+
+func TestDiscoverPropagatesErrors(t *testing.T) {
+	c, err := dataset.Generate(testSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Discover(c, cover.Options{Hits: 7}); err == nil {
+		t.Fatal("bad options accepted")
+	}
+}
+
+func TestTrainTestSplitsAndEvaluates(t *testing.T) {
+	c, err := dataset.Generate(testSpec(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := TrainTest(c, 0.75, 5, cover.Options{Hits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.TrainTumor+tt.TestTumor != c.Nt() {
+		t.Fatal("tumor split sizes inconsistent")
+	}
+	if tt.TrainNormal+tt.TestNormal != c.Nn() {
+		t.Fatal("normal split sizes inconsistent")
+	}
+	if tt.TrainTumor != 120 { // 160 × 0.75
+		t.Fatalf("train tumors = %d, want 120", tt.TrainTumor)
+	}
+	// With planted drivers the classifier must clearly beat chance.
+	if tt.Eval.Sensitivity.Point < 0.6 {
+		t.Errorf("sensitivity %.2f too low", tt.Eval.Sensitivity.Point)
+	}
+	if tt.Eval.Specificity.Point < 0.7 {
+		t.Errorf("specificity %.2f too low", tt.Eval.Specificity.Point)
+	}
+}
+
+func TestPanelStudyAggregates(t *testing.T) {
+	specs := dataset.FourHitCancers()[:3]
+	res, err := PanelStudy(specs, 40, 42, cover.Options{Hits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCancer) != 3 {
+		t.Fatalf("panel has %d entries", len(res.PerCancer))
+	}
+	if res.TotalCombos <= 0 {
+		t.Fatal("no combos counted")
+	}
+	if res.MeanSensitivity <= 0 || res.MeanSensitivity > 1 {
+		t.Fatalf("mean sensitivity %g", res.MeanSensitivity)
+	}
+	if res.MeanSpecificity <= 0 || res.MeanSpecificity > 1 {
+		t.Fatalf("mean specificity %g", res.MeanSpecificity)
+	}
+	for i, tt := range res.PerCancer {
+		if tt.Cancer != specs[i].Code {
+			t.Fatalf("panel order mismatch at %d", i)
+		}
+	}
+}
+
+func TestPanelStudyEmpty(t *testing.T) {
+	if _, err := PanelStudy(nil, 40, 1, cover.Options{Hits: 4}); err == nil {
+		t.Fatal("empty panel accepted")
+	}
+}
+
+func TestPanelStudyDeterministic(t *testing.T) {
+	specs := dataset.FourHitCancers()[:2]
+	a, err := PanelStudy(specs, 36, 7, cover.Options{Hits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PanelStudy(specs, 36, 7, cover.Options{Hits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanSensitivity != b.MeanSensitivity || a.TotalCombos != b.TotalCombos {
+		t.Fatal("panel study not deterministic")
+	}
+}

@@ -1,0 +1,26 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+)
+
+// The end-to-end pipeline: generate, discover, report with gene symbols.
+func ExampleDiscover() {
+	cohort, err := dataset.Generate(dataset.LGG().Scaled(50), 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := core.Discover(cohort, cover.Options{Hits: 4, MaxIterations: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Combos[0])
+	// Output:
+	// IDH1+MUC6+PABPC3+TAS2R46 (F=0.4006, covers 179)
+}

@@ -1,0 +1,193 @@
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bitmat"
+	"repro/internal/reduce"
+)
+
+// A Checkpoint captures a discovery run's progress so it can resume in a
+// later job — the practical answer to batch-system walltime limits (the
+// paper notes Summit capped sub-100-node jobs at two hours, Sec. IV-A).
+// It records the combinations chosen so far plus a fingerprint binding it
+// to the exact input matrices; Resume replays the recorded exclusions in
+// O(steps) matrix operations and continues the greedy loop, skipping every
+// already-completed enumeration pass.
+//
+// Checkpoints cover the mask-based exclusion mode (Run without BitSplice);
+// the spliced matrix is itself derived state that replay reconstructs.
+type Checkpoint struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// Hits is the combination size of the interrupted run.
+	Hits int `json:"hits"`
+	// Alpha is the F-weight penalty in effect.
+	Alpha float64 `json:"alpha"`
+	// TumorFingerprint and NormalFingerprint bind the checkpoint to its
+	// input matrices.
+	TumorFingerprint  uint64 `json:"tumor_fingerprint"`
+	NormalFingerprint uint64 `json:"normal_fingerprint"`
+	// Combos are the chosen combinations in greedy order; NewlyCovered
+	// records each combination's cover count for integrity checking.
+	Combos       [][]int `json:"combos"`
+	NewlyCovered []int   `json:"newly_covered"`
+	// Evaluated carries the cumulative enumeration count.
+	Evaluated uint64 `json:"evaluated"`
+}
+
+// checkpointVersion is the current wire format.
+const checkpointVersion = 1
+
+// ToCheckpoint converts a (typically MaxIterations-bounded) run's result
+// into a resumable checkpoint for the given input matrices.
+func (r *Result) ToCheckpoint(tumor, normal *bitmat.Matrix) *Checkpoint {
+	cp := &Checkpoint{
+		Version:           checkpointVersion,
+		Hits:              r.Options.Hits,
+		Alpha:             r.Options.Alpha,
+		TumorFingerprint:  tumor.Fingerprint(),
+		NormalFingerprint: normal.Fingerprint(),
+		Evaluated:         r.Evaluated,
+	}
+	for _, s := range r.Steps {
+		cp.Combos = append(cp.Combos, s.Combo.GeneIDs())
+		cp.NewlyCovered = append(cp.NewlyCovered, s.NewlyCovered)
+	}
+	return cp
+}
+
+// Write serializes the checkpoint as JSON.
+func (cp *Checkpoint) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// ReadCheckpoint deserializes a checkpoint written by Write.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("cover: reading checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("cover: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	if len(cp.Combos) != len(cp.NewlyCovered) {
+		return nil, fmt.Errorf("cover: checkpoint has %d combos but %d cover counts",
+			len(cp.Combos), len(cp.NewlyCovered))
+	}
+	return &cp, nil
+}
+
+// Resume continues an interrupted run from a checkpoint: the recorded
+// combinations are re-applied (and re-verified) without re-enumerating
+// their iterations, then the greedy loop continues to completion (or to
+// opt.MaxIterations, counted from the beginning, for another bounded leg).
+// The matrices must be the ones the checkpoint was taken from; BitSplice
+// must be off.
+func Resume(tumor, normal *bitmat.Matrix, opt Options, cp *Checkpoint) (*Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opt.BitSplice {
+		return nil, fmt.Errorf("cover: Resume supports mask-based exclusion; disable BitSplice")
+	}
+	if cp.Hits != opt.Hits {
+		return nil, fmt.Errorf("cover: checkpoint is a %d-hit run, options say %d", cp.Hits, opt.Hits)
+	}
+	if cp.Alpha != opt.Alpha {
+		return nil, fmt.Errorf("cover: checkpoint used α=%g, options say %g", cp.Alpha, opt.Alpha)
+	}
+	if cp.TumorFingerprint != tumor.Fingerprint() || cp.NormalFingerprint != normal.Fingerprint() {
+		return nil, fmt.Errorf("cover: checkpoint does not match these matrices")
+	}
+
+	res := &Result{Options: opt, Evaluated: cp.Evaluated}
+	active := bitmat.AllOnes(tumor.Samples())
+	buf := make([]uint64, tumor.Words())
+	for i, ids := range cp.Combos {
+		if len(ids) != opt.Hits {
+			return nil, fmt.Errorf("cover: checkpoint combo %d has %d genes, want %d",
+				i, len(ids), opt.Hits)
+		}
+		for _, g := range ids {
+			if g < 0 || g >= tumor.Genes() {
+				return nil, fmt.Errorf("cover: checkpoint combo %d references gene %d of %d",
+					i, g, tumor.Genes())
+			}
+		}
+		tumor.ComboVec(buf, ids...)
+		cov := bitmat.NewVec(tumor.Samples())
+		copy(cov.Words(), buf)
+		cov.And(active)
+		newly := cov.PopCount()
+		if newly != cp.NewlyCovered[i] {
+			return nil, fmt.Errorf("cover: checkpoint combo %d covers %d samples on replay, recorded %d",
+				i, newly, cp.NewlyCovered[i])
+		}
+		active.AndNot(cov)
+		res.Covered += newly
+		res.Steps = append(res.Steps, Step{
+			Combo:        replayCombo(ids),
+			NewlyCovered: newly,
+			ActiveAfter:  active.PopCount(),
+		})
+	}
+	// Continue the greedy loop from the replayed state.
+	if err := continueGreedy(tumor, normal, opt, active, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// replayCombo rebuilds a Combo record from gene ids; the F score of a
+// replayed step is not recomputed (it scored against a historical active
+// mask) and is reported as 0.
+func replayCombo(ids []int) reduce.Combo {
+	c := reduce.Combo{Genes: [4]int32{-1, -1, -1, -1}}
+	for i, g := range ids {
+		c.Genes[i] = int32(g)
+	}
+	return c
+}
+
+// continueGreedy runs the mask-based greedy loop from an arbitrary state,
+// appending to res. Shared by Resume (and equivalent to Run's non-splice
+// path).
+func continueGreedy(tumor, normal *bitmat.Matrix, opt Options, active *bitmat.Vec, res *Result) error {
+	denom := float64(tumor.Samples() + normal.Samples())
+	buf := make([]uint64, tumor.Words())
+	for opt.MaxIterations == 0 || len(res.Steps) < opt.MaxIterations {
+		remaining := active.PopCount()
+		if remaining == 0 {
+			return nil
+		}
+		best, evaluated := findBest(tumor, active, normal, opt, denom)
+		res.Evaluated += evaluated
+		if best == reduce.None {
+			return nil
+		}
+		tumor.ComboVec(buf, best.GeneIDs()...)
+		cov := bitmat.NewVec(tumor.Samples())
+		copy(cov.Words(), buf)
+		cov.And(active)
+		newly := cov.PopCount()
+		if newly == 0 {
+			res.Uncoverable = remaining
+			return nil
+		}
+		active.AndNot(cov)
+		res.Covered += newly
+		res.Steps = append(res.Steps, Step{
+			Combo:        best,
+			NewlyCovered: newly,
+			ActiveAfter:  active.PopCount(),
+			Evaluated:    evaluated,
+		})
+	}
+	// Stopped by the iteration cap; remaining samples may be coverable.
+	return nil
+}

@@ -1,0 +1,165 @@
+package cover
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	tumor, normal := randomPair(71, 14, 60, 50, 0.4)
+	full, err := Run(tumor, normal, Options{Hits: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Steps) < 4 {
+		t.Skipf("need ≥4 steps to split, got %d", len(full.Steps))
+	}
+
+	// Interrupt after 2 iterations, checkpoint, round-trip through JSON,
+	// resume.
+	partial, err := Run(tumor, normal, Options{Hits: 3, Workers: 4, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := partial.ToCheckpoint(tumor, normal).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(tumor, normal, Options{Hits: 3, Workers: 4}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(resumed.Steps) != len(full.Steps) {
+		t.Fatalf("resumed %d steps, uninterrupted %d", len(resumed.Steps), len(full.Steps))
+	}
+	for i := range full.Steps {
+		wantIDs := full.Steps[i].Combo.GeneIDs()
+		gotIDs := resumed.Steps[i].Combo.GeneIDs()
+		for j := range wantIDs {
+			if wantIDs[j] != gotIDs[j] {
+				t.Fatalf("step %d: resumed %v != full %v", i, gotIDs, wantIDs)
+			}
+		}
+		if resumed.Steps[i].NewlyCovered != full.Steps[i].NewlyCovered {
+			t.Fatalf("step %d: cover counts differ", i)
+		}
+	}
+	if resumed.Covered != full.Covered || resumed.Uncoverable != full.Uncoverable {
+		t.Fatal("totals differ after resume")
+	}
+	// The resumed run skipped the first two enumeration passes.
+	if resumed.Evaluated != full.Evaluated {
+		t.Fatalf("cumulative evaluated %d, want %d", resumed.Evaluated, full.Evaluated)
+	}
+}
+
+func TestCheckpointRejectsWrongInputs(t *testing.T) {
+	tumor, normal := randomPair(73, 12, 40, 30, 0.4)
+	partial, err := Run(tumor, normal, Options{Hits: 3, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := partial.ToCheckpoint(tumor, normal)
+
+	// Different matrices.
+	otherT, otherN := randomPair(74, 12, 40, 30, 0.4)
+	if _, err := Resume(otherT, otherN, Options{Hits: 3}, cp); err == nil {
+		t.Error("accepted mismatched matrices")
+	}
+	// Different hit count.
+	if _, err := Resume(tumor, normal, Options{Hits: 2}, cp); err == nil {
+		t.Error("accepted mismatched hit count")
+	}
+	// Different alpha.
+	if _, err := Resume(tumor, normal, Options{Hits: 3, Alpha: 0.5}, cp); err == nil {
+		t.Error("accepted mismatched alpha")
+	}
+	// BitSplice not supported.
+	if _, err := Resume(tumor, normal, Options{Hits: 3, BitSplice: true}, cp); err == nil {
+		t.Error("accepted BitSplice")
+	}
+	// Tampered cover count.
+	bad := *cp
+	bad.NewlyCovered = append([]int{}, cp.NewlyCovered...)
+	bad.NewlyCovered[0]++
+	if _, err := Resume(tumor, normal, Options{Hits: 3}, &bad); err == nil {
+		t.Error("accepted tampered cover count")
+	}
+	// Out-of-range gene.
+	bad2 := *cp
+	bad2.Combos = [][]int{{0, 1, 99}}
+	bad2.NewlyCovered = []int{1}
+	if _, err := Resume(tumor, normal, Options{Hits: 3}, &bad2); err == nil {
+		t.Error("accepted out-of-range gene id")
+	}
+}
+
+func TestReadCheckpointErrors(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("not json")); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("accepted unknown version")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(
+		`{"version": 1, "combos": [[1,2]], "newly_covered": []}`)); err == nil {
+		t.Error("accepted inconsistent lengths")
+	}
+}
+
+func TestResumeFromEmptyCheckpoint(t *testing.T) {
+	// Resuming from a zero-step checkpoint equals a fresh run.
+	tumor, normal := randomPair(79, 12, 40, 30, 0.4)
+	empty := (&Result{Options: Options{Hits: 3, Alpha: DefaultAlpha}}).ToCheckpoint(tumor, normal)
+	resumed, err := Resume(tumor, normal, Options{Hits: 3}, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(tumor, normal, Options{Hits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Steps) != len(fresh.Steps) || resumed.Covered != fresh.Covered {
+		t.Fatal("empty-checkpoint resume differs from a fresh run")
+	}
+}
+
+func TestMultiLegCheckpointing(t *testing.T) {
+	// Three walltime-limited legs (2 iterations each) must reach the same
+	// final cover as one uninterrupted run.
+	tumor, normal := randomPair(83, 13, 50, 40, 0.45)
+	full, err := Run(tumor, normal, Options{Hits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Run(tumor, normal, Options{Hits: 3, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for leg := 0; leg < 5; leg++ {
+		cp := partial.ToCheckpoint(tumor, normal)
+		cap := len(partial.Steps) + 2
+		partial, err = Resume(tumor, normal, Options{Hits: 3, MaxIterations: cap}, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(partial.Steps) >= len(full.Steps) {
+			break
+		}
+	}
+	// Final leg: run to completion.
+	cp := partial.ToCheckpoint(tumor, normal)
+	final, err := Resume(tumor, normal, Options{Hits: 3}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Steps) != len(full.Steps) || final.Covered != full.Covered {
+		t.Fatalf("multi-leg result differs: %d steps vs %d", len(final.Steps), len(full.Steps))
+	}
+}

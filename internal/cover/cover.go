@@ -1,0 +1,559 @@
+// Package cover implements the paper's primary contribution: the
+// approximate weighted-set-cover (WSC) algorithm that discovers multi-hit
+// combinations of genes differentiating tumor from normal samples, restructured
+// for massively parallel execution.
+//
+// One iteration of the algorithm (Sec. II-B):
+//
+//  1. enumerate every h-gene combination and score it with
+//     F = (α·TP + TN) / (Nt + Nn), α = 0.1;
+//  2. take the combination with maximum F;
+//  3. exclude ("cover") the tumor samples containing it;
+//
+// repeating until every tumor sample is covered. TP is the number of
+// still-active tumor samples mutated in all h genes; TN is the number of
+// normal samples NOT mutated in all h genes.
+//
+// The parallel engine reproduces the paper's execution structure on CPU
+// cores standing in for GPUs: the combination space is flattened to a
+// linear thread id λ through the triangular/tetrahedral maps (package
+// combinat), λ-ranges are assigned to workers by the equi-area or
+// equi-distance scheduler (package sched), each worker folds its threads'
+// scores through per-block single-stage reduction followed by a tree
+// reduction (package reduce), and the winners are reduced across workers —
+// the same maxF → parallelReduceMax → rank-0 topology as the CUDA/MPI
+// implementation. All reductions share one deterministic total order, so
+// every scheme, scheduler and worker count returns the identical cover.
+package cover
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/combinat"
+	"repro/internal/reduce"
+	"repro/internal/sched"
+)
+
+// DefaultAlpha is the paper's true-positive penalty term α.
+const DefaultAlpha = 0.1
+
+// DefaultBlockSize is the paper's CUDA thread-block size, used for the
+// in-block reduction stage.
+const DefaultBlockSize = 512
+
+// Scheme selects the loop-flattening parallelization scheme (Sec. III-A).
+type Scheme int
+
+const (
+	// SchemeAuto picks the paper's production scheme for the hit count:
+	// flat pairs for h=2, 2x1 for h=3, 3x1 for h=4.
+	SchemeAuto Scheme = iota
+	// SchemePair is the 2-hit kernel: C(G,2) threads, one combination each.
+	SchemePair
+	// Scheme2x1 is the 3-hit kernel of Algorithm 1: C(G,2) threads, each
+	// running one inner loop over k.
+	Scheme2x1
+	// Scheme2x2 is the 4-hit kernel of Algorithm 2: C(G,2) threads, each
+	// running a depth-2 nested loop over (k, l).
+	Scheme2x2
+	// Scheme3x1 is the 4-hit kernel of Algorithm 3: C(G,3) threads, each
+	// running one inner loop over l.
+	Scheme3x1
+	// Scheme1x3 is the 4-hit scheme the paper defines but rejects for its
+	// limited parallelism: G threads, each running a depth-3 nested loop.
+	Scheme1x3
+	// Scheme4x1 is the fully flattened 4-hit scheme the paper defines but
+	// rejects: C(G,4) threads, one combination each.
+	Scheme4x1
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAuto:
+		return "auto"
+	case SchemePair:
+		return "pair"
+	case Scheme2x1:
+		return "2x1"
+	case Scheme2x2:
+		return "2x2"
+	case Scheme3x1:
+		return "3x1"
+	case Scheme1x3:
+		return "1x3"
+	case Scheme4x1:
+		return "4x1"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// hits returns the hit count a scheme serves.
+func (s Scheme) hits() int {
+	switch s {
+	case SchemePair:
+		return 2
+	case Scheme2x1:
+		return 3
+	case Scheme2x2, Scheme3x1, Scheme1x3, Scheme4x1:
+		return 4
+	}
+	return 0
+}
+
+// Scheduler selects the λ-range partitioner.
+type Scheduler int
+
+const (
+	// EquiArea is the paper's scheduler: equal work per worker.
+	EquiArea Scheduler = iota
+	// EquiDistance is the naive baseline: equal thread count per worker.
+	EquiDistance
+)
+
+// String returns "EA" or "ED".
+func (s Scheduler) String() string {
+	if s == EquiDistance {
+		return "ED"
+	}
+	return "EA"
+}
+
+// Options configures a discovery run.
+type Options struct {
+	// Hits is the combination size h (2–4 for the parallel engine).
+	Hits int
+	// Alpha is the true-positive penalty; 0 means DefaultAlpha.
+	Alpha float64
+	// Scheme selects the parallelization scheme; SchemeAuto matches Hits.
+	Scheme Scheme
+	// Workers is the number of parallel workers (virtual GPUs); 0 means
+	// GOMAXPROCS.
+	Workers int
+	// BlockSize is the in-block reduction width; 0 means DefaultBlockSize.
+	BlockSize int
+	// Scheduler selects EA (default) or ED partitioning.
+	Scheduler Scheduler
+	// MemOpt1 hoists the row for gene i out of the 3-hit inner loop;
+	// MemOpt2 additionally hoists (and pre-folds) the row for gene j.
+	// They reproduce the Fig. 5 ablation and apply to the 3-hit kernel;
+	// the 2x2/3x1 4-hit kernels always run fully prefetched, as in the
+	// paper's production configuration.
+	MemOpt1, MemOpt2 bool
+	// BitSplice physically splices covered tumor samples out of the matrix
+	// after each iteration instead of masking them.
+	BitSplice bool
+	// MaxIterations bounds the number of combinations reported; 0 means
+	// run until every coverable tumor sample is covered.
+	MaxIterations int
+	// Progress, when non-nil, is called after each iteration with the
+	// step just taken — long runs report as they go. The callback runs on
+	// the caller's goroutine; the Step is complete except for Elapsed of
+	// later steps.
+	Progress func(Step)
+}
+
+// withDefaults resolves zero values and validates.
+func (o Options) withDefaults() (Options, error) {
+	if o.Hits == 0 && o.Scheme != SchemeAuto {
+		o.Hits = o.Scheme.hits()
+	}
+	if o.Hits < 2 || o.Hits > 4 {
+		return o, fmt.Errorf("cover: Hits must be 2, 3 or 4, got %d", o.Hits)
+	}
+	if o.Scheme == SchemeAuto {
+		switch o.Hits {
+		case 2:
+			o.Scheme = SchemePair
+		case 3:
+			o.Scheme = Scheme2x1
+		case 4:
+			o.Scheme = Scheme3x1
+		}
+	}
+	if o.Scheme.hits() != o.Hits {
+		return o, fmt.Errorf("cover: scheme %s serves %d hits, Options.Hits is %d",
+			o.Scheme, o.Scheme.hits(), o.Hits)
+	}
+	if o.Alpha == 0 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.Alpha < 0 {
+		return o, fmt.Errorf("cover: Alpha must be non-negative, got %g", o.Alpha)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("cover: Workers must be non-negative, got %d", o.Workers)
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = DefaultBlockSize
+	}
+	if o.BlockSize < 0 {
+		return o, fmt.Errorf("cover: BlockSize must be non-negative, got %d", o.BlockSize)
+	}
+	return o, nil
+}
+
+// Step records one iteration of the cover loop.
+type Step struct {
+	// Combo is the winning combination of the iteration.
+	Combo reduce.Combo
+	// NewlyCovered is the number of previously-active tumor samples the
+	// combination covers.
+	NewlyCovered int
+	// ActiveAfter is the number of tumor samples still uncovered after
+	// this iteration.
+	ActiveAfter int
+	// Evaluated is the number of combinations scored this iteration.
+	Evaluated uint64
+	// Elapsed is the wall-clock time of the iteration.
+	Elapsed time.Duration
+}
+
+// Result is a full discovery run.
+type Result struct {
+	// Steps lists the chosen combinations in greedy order.
+	Steps []Step
+	// Covered is the total number of tumor samples covered.
+	Covered int
+	// Uncoverable is the number of tumor samples no h-combination covers
+	// (samples with fewer than h mutated genes can never be covered).
+	Uncoverable int
+	// Evaluated is the total number of combinations scored.
+	Evaluated uint64
+	// Elapsed is the total wall-clock time.
+	Elapsed time.Duration
+	// Options echoes the resolved configuration.
+	Options Options
+}
+
+// Combos returns the chosen combinations in order.
+func (r *Result) Combos() []reduce.Combo {
+	out := make([]reduce.Combo, len(r.Steps))
+	for i, s := range r.Steps {
+		out[i] = s.Combo
+	}
+	return out
+}
+
+// Run executes the full greedy cover loop on the given tumor/normal
+// matrices. The matrices must share the gene dimension. Run never modifies
+// its inputs: BitSplicing operates on an internal copy.
+func Run(tumor, normal *bitmat.Matrix, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), tumor, normal, opt)
+}
+
+// RunCtx is Run with cancellation: the context is checked between
+// iterations (full enumeration passes), so cancellation latency is one
+// iteration. On cancellation the partial result accumulated so far is
+// returned together with the context's error — the caller can checkpoint
+// it (see Checkpoint) and resume later.
+func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if tumor.Genes() != normal.Genes() {
+		return nil, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+			tumor.Genes(), normal.Genes())
+	}
+	if tumor.Genes() < opt.Hits {
+		return nil, fmt.Errorf("cover: %d genes cannot form %d-hit combinations",
+			tumor.Genes(), opt.Hits)
+	}
+	if tumor.Samples() == 0 {
+		return nil, fmt.Errorf("cover: no tumor samples")
+	}
+
+	nt := tumor.Samples()
+	res := &Result{Options: opt}
+	start := time.Now()
+
+	// Normal-side counts never change across iterations.
+	cur := tumor
+	active := bitmat.AllOnes(nt) // meaningful only when not splicing
+	if opt.BitSplice {
+		cur = tumor.Clone()
+	}
+	coverBuf := make([]uint64, cur.Words())
+
+	for iter := 0; opt.MaxIterations == 0 || iter < opt.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
+		remaining := active.PopCount()
+		if opt.BitSplice {
+			remaining = cur.Samples()
+			// The spliced matrix holds only active samples, so the mask
+			// passed to the kernels is all-ones at the current width.
+			active = bitmat.AllOnes(remaining)
+		}
+		if remaining == 0 {
+			break
+		}
+		iterStart := time.Now()
+		// The denominator stays pinned to the original cohort size so F
+		// values remain comparable across iterations whether or not
+		// BitSplicing shrinks the working matrix.
+		best, evaluated := findBest(cur, active, normal, opt, float64(nt+normal.Samples()))
+		res.Evaluated += evaluated
+		if best == reduce.None {
+			break
+		}
+
+		// Which active tumor samples does the winner cover?
+		if len(coverBuf) != cur.Words() {
+			coverBuf = make([]uint64, cur.Words())
+		}
+		covered := cur.ComboVec(coverBuf, best.GeneIDs()...)
+		if !opt.BitSplice {
+			covered = active.AndPopCount(coverBuf)
+		}
+		if covered == 0 {
+			// The best combination covers nothing: the remaining samples
+			// have fewer than h mutated genes and are uncoverable.
+			res.Uncoverable = remaining
+			break
+		}
+		res.Covered += covered
+
+		var activeAfter int
+		if opt.BitSplice {
+			remove := vecFromWords(cur.Samples(), coverBuf)
+			cur = cur.Splice(remove)
+			activeAfter = cur.Samples()
+		} else {
+			cov := vecFromWords(nt, coverBuf)
+			cov.And(active)
+			active.AndNot(cov)
+			activeAfter = active.PopCount()
+		}
+
+		step := Step{
+			Combo:        best,
+			NewlyCovered: covered,
+			ActiveAfter:  activeAfter,
+			Evaluated:    evaluated,
+			Elapsed:      time.Since(iterStart),
+		}
+		res.Steps = append(res.Steps, step)
+		if opt.Progress != nil {
+			opt.Progress(step)
+		}
+		if activeAfter == 0 {
+			break
+		}
+	}
+	if res.Uncoverable == 0 {
+		if opt.BitSplice {
+			res.Uncoverable = cur.Samples()
+		} else {
+			res.Uncoverable = active.PopCount()
+		}
+		if opt.MaxIterations > 0 && len(res.Steps) == opt.MaxIterations {
+			// Stopped by the iteration cap, not by exhaustion; the
+			// remaining samples may still be coverable.
+			res.Uncoverable = 0
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// vecFromWords wraps packed words into a Vec of length n.
+func vecFromWords(n int, words []uint64) *bitmat.Vec {
+	v := bitmat.NewVec(n)
+	copy(v.Words(), words)
+	return v
+}
+
+// FindBest runs a single enumeration pass (one iteration's step 1–2) and
+// returns the best combination and the number of combinations evaluated.
+// The active vector selects which tumor samples still count toward TP; pass
+// nil for all. Exported for benchmarks and the simulator's per-iteration
+// accounting.
+func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (reduce.Combo, uint64, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return reduce.None, 0, err
+	}
+	if tumor.Genes() != normal.Genes() {
+		return reduce.None, 0, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+			tumor.Genes(), normal.Genes())
+	}
+	if active == nil {
+		active = bitmat.AllOnes(tumor.Samples())
+	}
+	best, n := findBest(tumor, active, normal, opt,
+		float64(tumor.Samples()+normal.Samples()))
+	return best, n, nil
+}
+
+// FindBestRange runs the scheme kernel over a single λ-range [lo, hi) of
+// the combination space and returns that range's best combination and
+// evaluated count. It is the per-GPU unit of work in the distributed
+// pipeline: each MPI rank calls it for the partitions its GPUs own and
+// reduces the results (see internal/cluster). The λ-domain size is
+// C(G, 2) for SchemePair/2x1/2x2 and C(G, 3) for 3x1.
+func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, lo, hi uint64) (reduce.Combo, uint64, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return reduce.None, 0, err
+	}
+	if tumor.Genes() != normal.Genes() {
+		return reduce.None, 0, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+			tumor.Genes(), normal.Genes())
+	}
+	if active == nil {
+		active = bitmat.AllOnes(tumor.Samples())
+	}
+	if hi < lo {
+		return reduce.None, 0, fmt.Errorf("cover: inverted range [%d, %d)", lo, hi)
+	}
+	if lo == hi {
+		return reduce.None, 0, nil
+	}
+	env := &kernelEnv{
+		tumor:  tumor,
+		normal: normal,
+		active: active,
+		alpha:  opt.Alpha,
+		denom:  float64(tumor.Samples() + normal.Samples()),
+		nn:     normal.Samples(),
+	}
+	best, n := runKernel(env, opt, sched.Partition{Lo: lo, Hi: hi})
+	return best, n, nil
+}
+
+// findBest partitions the λ-domain, runs the scheme kernel on every worker,
+// and reduces the winners.
+func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, uint64) {
+	g := uint64(tumor.Genes())
+	var curve sched.Curve
+	switch opt.Scheme {
+	case SchemePair:
+		curve = sched.NewFlat(combinat.PairCount(g))
+	case Scheme2x1:
+		curve = sched.NewTri2x1(g)
+	case Scheme2x2:
+		curve = sched.NewTri2x2(g)
+	case Scheme3x1:
+		curve = sched.NewTetra3x1(g)
+	case Scheme1x3:
+		curve = sched.NewLin1x3(g)
+	case Scheme4x1:
+		curve = sched.NewFlat(combinat.QuadCount(g))
+	default:
+		panic("cover: unresolved scheme")
+	}
+
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var parts []sched.Partition
+	if opt.Scheduler == EquiDistance {
+		parts = sched.EquiDistance(curve, workers)
+	} else {
+		parts = sched.EquiArea(curve, workers)
+	}
+
+	env := &kernelEnv{
+		tumor:  tumor,
+		normal: normal,
+		active: active,
+		alpha:  opt.Alpha,
+		denom:  denom,
+		nn:     normal.Samples(),
+	}
+
+	bests := make([]reduce.Combo, len(parts))
+	counts := make([]uint64, len(parts))
+	var wg sync.WaitGroup
+	for w, part := range parts {
+		if part.Size() == 0 {
+			bests[w] = reduce.None
+			continue
+		}
+		wg.Add(1)
+		go func(w int, part sched.Partition) {
+			defer wg.Done()
+			bests[w], counts[w] = runKernel(env, opt, part)
+		}(w, part)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	// Rank-0 reduction across workers.
+	return reduce.Max(bests), total
+}
+
+// kernelEnv bundles the per-iteration read-only state shared by workers.
+type kernelEnv struct {
+	tumor  *bitmat.Matrix
+	normal *bitmat.Matrix
+	active *bitmat.Vec
+	alpha  float64
+	denom  float64
+	nn     int
+}
+
+// score computes F from a TP and a normal-side AND count.
+func (e *kernelEnv) score(tp, normalHits int) float64 {
+	tn := e.nn - normalHits
+	return (e.alpha*float64(tp) + float64(tn)) / e.denom
+}
+
+// runKernel dispatches the scheme kernel over one λ-partition, folding
+// per-thread results through block reduction and a tree reduction, exactly
+// mirroring the maxF / parallelReduceMax kernel pair.
+func runKernel(env *kernelEnv, opt Options, part sched.Partition) (reduce.Combo, uint64) {
+	var blockBests []reduce.Combo
+	blockBest := reduce.None
+	inBlock := 0
+	flush := func() {
+		if inBlock > 0 {
+			blockBests = append(blockBests, blockBest)
+			blockBest = reduce.None
+			inBlock = 0
+		}
+	}
+	observe := func(c reduce.Combo) {
+		if c.Better(blockBest) {
+			blockBest = c
+		}
+		inBlock++
+		if inBlock == opt.BlockSize {
+			flush()
+		}
+	}
+
+	var evaluated uint64
+	switch opt.Scheme {
+	case SchemePair:
+		evaluated = kernelPair(env, part, observe)
+	case Scheme2x1:
+		evaluated = kernel2x1(env, opt, part, observe)
+	case Scheme2x2:
+		evaluated = kernel2x2(env, part, observe)
+	case Scheme3x1:
+		evaluated = kernel3x1(env, part, observe)
+	case Scheme1x3:
+		evaluated = kernel1x3(env, part, observe)
+	case Scheme4x1:
+		evaluated = kernel4x1(env, part, observe)
+	}
+	flush()
+	return reduce.TreeReduce(blockBests), evaluated
+}

@@ -1,0 +1,47 @@
+package cover_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/cover"
+)
+
+// A tiny two-hit discovery: two genes co-mutated in three tumor samples
+// and absent from normals form the obvious winning combination.
+func ExampleRun() {
+	tumor := bitmat.New(4, 5)
+	normal := bitmat.New(4, 5)
+	for _, s := range []int{0, 1, 2} {
+		tumor.Set(0, s)
+		tumor.Set(2, s)
+	}
+	tumor.Set(1, 3) // sample 3 has a lone mutation: uncoverable at h=2
+	res, err := cover.Run(tumor, normal, cover.Options{Hits: 2, Workers: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Steps[0].Combo.GeneIDs(), res.Covered, res.Uncoverable)
+	// Output:
+	// [0 2] 3 2
+}
+
+// FindBest runs a single enumeration pass — one iteration's argmax.
+func ExampleFindBest() {
+	tumor := bitmat.New(3, 4)
+	normal := bitmat.New(3, 4)
+	tumor.Set(0, 0)
+	tumor.Set(1, 0)
+	tumor.Set(0, 1)
+	tumor.Set(1, 1)
+	normal.Set(2, 0)
+	best, evaluated, err := cover.FindBest(tumor, normal, nil, cover.Options{Hits: 2, Workers: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(best.GeneIDs(), evaluated) // C(3,2) = 3 combinations scored
+	// Output:
+	// [0 1] 3
+}

@@ -1,0 +1,239 @@
+package cover
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/combinat"
+	"repro/internal/sched"
+)
+
+// The paper stops at h = 4 and notes that every additional hit multiplies
+// the search space by ~(G−h)/h (Sec. V). This file extends the engine to
+// h = 5 with the natural continuation of the 3x1 scheme — a "4x1" layout
+// where thread λ decodes to the quadruple (i, j, k, l) through the
+// 4-simplex map and runs one inner loop over m — so the reproduction can
+// execute the paper's next step at reduced scale. The 20-byte Combo record
+// holds only four gene ids, so 5-hit results use the wider Combo5.
+
+// better5 is the deterministic total order for 5-hit records: higher F,
+// ties to the lexicographically smaller gene tuple.
+func better5(a, b Combo5) bool {
+	if a.F != b.F {
+		return a.F > b.F
+	}
+	for i := range a.Genes {
+		if a.Genes[i] != b.Genes[i] {
+			return a.Genes[i] < b.Genes[i]
+		}
+	}
+	return false
+}
+
+// none5 is the identity element of the 5-hit reduction.
+var none5 = Combo5{Genes: [5]int{-1, -1, -1, -1, -1}, F: -1}
+
+// Result5 is a full 5-hit discovery run.
+type Result5 struct {
+	// Steps lists the chosen combinations with their newly covered counts.
+	Steps []struct {
+		Combo        Combo5
+		NewlyCovered int
+	}
+	// Covered and Uncoverable partition the tumor samples.
+	Covered     int
+	Uncoverable int
+	// Evaluated counts scored combinations.
+	Evaluated uint64
+	// Elapsed is the total wall-clock time.
+	Elapsed time.Duration
+}
+
+// Options5 configures a 5-hit run.
+type Options5 struct {
+	// Alpha is the true-positive penalty; 0 means DefaultAlpha.
+	Alpha float64
+	// Workers is the parallel worker count; 0 means GOMAXPROCS.
+	Workers int
+	// MaxIterations bounds the combinations reported; 0 means exhaustive.
+	MaxIterations int
+}
+
+// Run5 executes the greedy 5-hit cover. The λ-domain is C(G, 4) quadruple
+// threads partitioned equi-area (each thread's work is G−1−l, the same
+// discrete-level structure as 3x1 one dimension up).
+func Run5(tumor, normal *bitmat.Matrix, opt Options5) (*Result5, error) {
+	if tumor.Genes() != normal.Genes() {
+		return nil, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+			tumor.Genes(), normal.Genes())
+	}
+	if tumor.Genes() < 5 {
+		return nil, fmt.Errorf("cover: %d genes cannot form 5-hit combinations", tumor.Genes())
+	}
+	if tumor.Samples() == 0 {
+		return nil, fmt.Errorf("cover: no tumor samples")
+	}
+	if opt.Alpha == 0 {
+		opt.Alpha = DefaultAlpha
+	}
+	if opt.Alpha < 0 {
+		return nil, fmt.Errorf("cover: Alpha must be non-negative, got %g", opt.Alpha)
+	}
+	if opt.Workers == 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("cover: Workers must be non-negative, got %d", opt.Workers)
+	}
+
+	res := &Result5{}
+	start := time.Now()
+	active := bitmat.AllOnes(tumor.Samples())
+	buf := make([]uint64, tumor.Words())
+	for iter := 0; opt.MaxIterations == 0 || iter < opt.MaxIterations; iter++ {
+		remaining := active.PopCount()
+		if remaining == 0 {
+			break
+		}
+		best, n := findBest5(tumor, normal, active, opt)
+		res.Evaluated += n
+		if best.F < 0 {
+			break
+		}
+		tumor.ComboVec(buf, best.Genes[:]...)
+		cov := bitmat.NewVec(tumor.Samples())
+		copy(cov.Words(), buf)
+		cov.And(active)
+		newly := cov.PopCount()
+		if newly == 0 {
+			res.Uncoverable = remaining
+			break
+		}
+		active.AndNot(cov)
+		res.Covered += newly
+		res.Steps = append(res.Steps, struct {
+			Combo        Combo5
+			NewlyCovered int
+		}{best, newly})
+		if active.PopCount() == 0 {
+			break
+		}
+	}
+	if res.Uncoverable == 0 {
+		res.Uncoverable = active.PopCount()
+		if opt.MaxIterations > 0 && len(res.Steps) == opt.MaxIterations {
+			res.Uncoverable = 0
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// FindBest5 runs one enumeration pass and returns the best 5-hit
+// combination and the number scored. Exported for tests and benchmarks.
+func FindBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, uint64, error) {
+	if tumor.Genes() != normal.Genes() {
+		return none5, 0, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+			tumor.Genes(), normal.Genes())
+	}
+	if opt.Alpha == 0 {
+		opt.Alpha = DefaultAlpha
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if active == nil {
+		active = bitmat.AllOnes(tumor.Samples())
+	}
+	best, n := findBest5(tumor, normal, active, opt)
+	return best, n, nil
+}
+
+// quadCurve builds the 5-hit workload curve: C(g, 4) threads at levels
+// indexed by the largest coordinate l, each thread doing g−1−l inner
+// iterations.
+func quadCurve(g uint64) sched.Curve {
+	return sched.NewQuad4x1(g)
+}
+
+// findBest5 partitions the quad domain across workers and reduces.
+func findBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, uint64) {
+	g := uint64(tumor.Genes())
+	curve := quadCurve(g)
+	parts := sched.EquiArea(curve, opt.Workers)
+
+	denom := float64(tumor.Samples() + normal.Samples())
+	nn := normal.Samples()
+
+	bests := make([]Combo5, len(parts))
+	counts := make([]uint64, len(parts))
+	var wg sync.WaitGroup
+	for w, part := range parts {
+		bests[w] = none5
+		if part.Size() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, part sched.Partition) {
+			defer wg.Done()
+			bests[w], counts[w] = kernel4x1five(tumor, normal, active, opt.Alpha, denom, nn, part)
+		}(w, part)
+	}
+	wg.Wait()
+	best := none5
+	var total uint64
+	for w := range bests {
+		total += counts[w]
+		if better5(bests[w], best) {
+			best = bests[w]
+		}
+	}
+	return best, total
+}
+
+// kernel4x1five: thread (i, j, k, l) runs one inner loop over m, with the
+// four fixed rows (and the active mask) pre-folded.
+func kernel4x1five(tm, nm *bitmat.Matrix, active *bitmat.Vec, alpha, denom float64, nn int, part sched.Partition) (Combo5, uint64) {
+	g := tm.Genes()
+	aw := active.Words()
+	tbuf := make([]uint64, tm.Words())
+	nbuf := make([]uint64, nm.Words())
+	best := none5
+	var evaluated uint64
+
+	iu, ju, ku, lu := combinat.LinearToQuad(part.Lo)
+	i, j, k, l := int(iu), int(ju), int(ku), int(lu)
+	for lambda := part.Lo; lambda < part.Hi; lambda++ {
+		bitmat.AndWords(tbuf, aw, tm.Row(i))
+		bitmat.AndWords(tbuf, tbuf, tm.Row(j))
+		bitmat.AndWords(tbuf, tbuf, tm.Row(k))
+		bitmat.AndWords(tbuf, tbuf, tm.Row(l))
+		bitmat.AndWords(nbuf, nm.Row(i), nm.Row(j))
+		bitmat.AndWords(nbuf, nbuf, nm.Row(k))
+		bitmat.AndWords(nbuf, nbuf, nm.Row(l))
+		for m := l + 1; m < g; m++ {
+			tp := bitmat.PopAnd2(tbuf, tm.Row(m))
+			tn := nn - bitmat.PopAnd2(nbuf, nm.Row(m))
+			f := (alpha*float64(tp) + float64(tn)) / denom
+			c := Combo5{Genes: [5]int{i, j, k, l, m}, F: f}
+			if better5(c, best) {
+				best = c
+			}
+			evaluated++
+		}
+		i++
+		if i == j {
+			i, j = 0, j+1
+			if j == k {
+				j, k = 1, k+1
+				if k == l {
+					k, l = 2, l+1
+				}
+			}
+		}
+	}
+	return best, evaluated
+}

@@ -1,0 +1,252 @@
+package cover
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmat"
+	"repro/internal/combinat"
+	"repro/internal/reduce"
+	"repro/internal/sched"
+)
+
+// The kernels below are the Go counterparts of the paper's CUDA maxF
+// kernels. Each is handed a contiguous λ-range (one worker's partition),
+// decodes the starting coordinates once with the combinat maps, and then
+// advances coordinates incrementally — the same traversal order a GPU
+// thread grid realizes, at sequential-scan cost. observe() is called once
+// per thread with the thread's best combination over its inner loop(s);
+// the caller folds those through block and tree reduction.
+
+// kernelPair scores one 2-hit combination per thread.
+func kernelPair(env *kernelEnv, part sched.Partition, observe func(reduce.Combo)) uint64 {
+	tm, nm := env.tumor, env.normal
+	aw := env.active.Words()
+	iu, ju := combinat.LinearToPair(part.Lo)
+	i, j := int(iu), int(ju)
+	for lambda := part.Lo; lambda < part.Hi; lambda++ {
+		tp := bitmat.PopAnd3(aw, tm.Row(i), tm.Row(j))
+		nh := bitmat.PopAnd2(nm.Row(i), nm.Row(j))
+		observe(reduce.NewCombo(env.score(tp, nh), i, j))
+		i++
+		if i == j {
+			i, j = 0, j+1
+		}
+	}
+	return part.Size()
+}
+
+// kernel2x1 is the 3-hit kernel (Algorithm 1): thread (i, j) loops over
+// k = j+1 … G−1. The MemOpt flags control how much of the thread-invariant
+// state is hoisted out of the inner loop, reproducing the Fig. 5 ablation:
+//
+//	no opts:  rows i, j and k are fetched from the matrix on every k;
+//	MemOpt1:  the rows for gene i are fetched once per thread;
+//	MemOpt2:  the rows for genes i and j are fetched once per thread and
+//	          pre-folded (together with the active mask) into one buffer,
+//	          halving the word traffic of the inner loop.
+func kernel2x1(env *kernelEnv, opt Options, part sched.Partition, observe func(reduce.Combo)) uint64 {
+	tm, nm := env.tumor, env.normal
+	g := tm.Genes()
+	aw := env.active.Words()
+	tbuf := make([]uint64, tm.Words())
+	nbuf := make([]uint64, nm.Words())
+	var evaluated uint64
+
+	iu, ju := combinat.LinearToPair(part.Lo)
+	i, j := int(iu), int(ju)
+	for lambda := part.Lo; lambda < part.Hi; lambda++ {
+		best := reduce.None
+		switch {
+		case opt.MemOpt2:
+			// Pre-fold active ∧ row(i) ∧ row(j) once per thread.
+			bitmat.AndWords(tbuf, aw, tm.Row(i))
+			bitmat.AndWords(tbuf, tbuf, tm.Row(j))
+			bitmat.AndWords(nbuf, nm.Row(i), nm.Row(j))
+			for k := j + 1; k < g; k++ {
+				tp := bitmat.PopAnd2(tbuf, tm.Row(k))
+				nh := bitmat.PopAnd2(nbuf, nm.Row(k))
+				if c := reduce.NewCombo(env.score(tp, nh), i, j, k); c.Better(best) {
+					best = c
+				}
+				evaluated++
+			}
+		case opt.MemOpt1:
+			ti, ni := tm.Row(i), nm.Row(i)
+			for k := j + 1; k < g; k++ {
+				tp := bitmat.PopAnd4(aw, ti, tm.Row(j), tm.Row(k))
+				nh := bitmat.PopAnd3(ni, nm.Row(j), nm.Row(k))
+				if c := reduce.NewCombo(env.score(tp, nh), i, j, k); c.Better(best) {
+					best = c
+				}
+				evaluated++
+			}
+		default:
+			for k := j + 1; k < g; k++ {
+				tp := bitmat.PopAnd4(aw, tm.Row(i), tm.Row(j), tm.Row(k))
+				nh := bitmat.PopAnd3(nm.Row(i), nm.Row(j), nm.Row(k))
+				if c := reduce.NewCombo(env.score(tp, nh), i, j, k); c.Better(best) {
+					best = c
+				}
+				evaluated++
+			}
+		}
+		observe(best)
+		i++
+		if i == j {
+			i, j = 0, j+1
+		}
+	}
+	return evaluated
+}
+
+// kernel2x2 is the 4-hit kernel of Algorithm 2: thread (i, j) runs the
+// depth-2 nested loop over (k, l). Fully prefetched, as in the paper's
+// production configuration.
+func kernel2x2(env *kernelEnv, part sched.Partition, observe func(reduce.Combo)) uint64 {
+	tm, nm := env.tumor, env.normal
+	g := tm.Genes()
+	aw := env.active.Words()
+	tbuf2 := make([]uint64, tm.Words())
+	nbuf2 := make([]uint64, nm.Words())
+	tbuf3 := make([]uint64, tm.Words())
+	nbuf3 := make([]uint64, nm.Words())
+	var evaluated uint64
+
+	iu, ju := combinat.LinearToPair(part.Lo)
+	i, j := int(iu), int(ju)
+	for lambda := part.Lo; lambda < part.Hi; lambda++ {
+		best := reduce.None
+		bitmat.AndWords(tbuf2, aw, tm.Row(i))
+		bitmat.AndWords(tbuf2, tbuf2, tm.Row(j))
+		bitmat.AndWords(nbuf2, nm.Row(i), nm.Row(j))
+		for k := j + 1; k < g-1; k++ {
+			bitmat.AndWords(tbuf3, tbuf2, tm.Row(k))
+			bitmat.AndWords(nbuf3, nbuf2, nm.Row(k))
+			for l := k + 1; l < g; l++ {
+				tp := bitmat.PopAnd2(tbuf3, tm.Row(l))
+				nh := bitmat.PopAnd2(nbuf3, nm.Row(l))
+				if c := reduce.NewCombo(env.score(tp, nh), i, j, k, l); c.Better(best) {
+					best = c
+				}
+				evaluated++
+			}
+		}
+		observe(best)
+		i++
+		if i == j {
+			i, j = 0, j+1
+		}
+	}
+	return evaluated
+}
+
+// kernel1x3 is the 4-hit 1x3 scheme: thread i runs the full depth-3 nested
+// loop over (j, k, l). The paper rejects it — only G threads exist — but it
+// completes the scheme ablation. λ is simply the outer index i.
+func kernel1x3(env *kernelEnv, part sched.Partition, observe func(reduce.Combo)) uint64 {
+	tm, nm := env.tumor, env.normal
+	g := tm.Genes()
+	aw := env.active.Words()
+	tbuf2 := make([]uint64, tm.Words())
+	nbuf2 := make([]uint64, nm.Words())
+	tbuf3 := make([]uint64, tm.Words())
+	nbuf3 := make([]uint64, nm.Words())
+	var evaluated uint64
+
+	for lambda := part.Lo; lambda < part.Hi; lambda++ {
+		i := int(lambda)
+		best := reduce.None
+		for j := i + 1; j < g-2; j++ {
+			bitmat.AndWords(tbuf2, aw, tm.Row(i))
+			bitmat.AndWords(tbuf2, tbuf2, tm.Row(j))
+			bitmat.AndWords(nbuf2, nm.Row(i), nm.Row(j))
+			for k := j + 1; k < g-1; k++ {
+				bitmat.AndWords(tbuf3, tbuf2, tm.Row(k))
+				bitmat.AndWords(nbuf3, nbuf2, nm.Row(k))
+				for l := k + 1; l < g; l++ {
+					tp := bitmat.PopAnd2(tbuf3, tm.Row(l))
+					nh := bitmat.PopAnd2(nbuf3, nm.Row(l))
+					if c := reduce.NewCombo(env.score(tp, nh), i, j, k, l); c.Better(best) {
+						best = c
+					}
+					evaluated++
+				}
+			}
+		}
+		observe(best)
+	}
+	return evaluated
+}
+
+// kernel4x1 is the fully flattened 4-hit scheme: one thread per
+// combination, λ decoded through the 4-simplex map. The paper rejects it
+// for its "astronomically large" thread count; here it pays the fold of
+// all four rows on every combination because nothing is loop-invariant.
+func kernel4x1(env *kernelEnv, part sched.Partition, observe func(reduce.Combo)) uint64 {
+	tm, nm := env.tumor, env.normal
+	aw := env.active.Words()
+	iu, ju, ku, lu := combinat.LinearToQuad(part.Lo)
+	i, j, k, l := int(iu), int(ju), int(ku), int(lu)
+	for lambda := part.Lo; lambda < part.Hi; lambda++ {
+		tp := 0
+		{
+			ti, tj, tk, tl := tm.Row(i), tm.Row(j), tm.Row(k), tm.Row(l)
+			for w := range ti {
+				tp += bits.OnesCount64(aw[w] & ti[w] & tj[w] & tk[w] & tl[w])
+			}
+		}
+		nh := nm.AndPopCount4(i, j, k, l)
+		observe(reduce.NewCombo(env.score(tp, nh), i, j, k, l))
+		// Advance (i, j, k, l) in λ order: i fastest, then j, k, l.
+		i++
+		if i == j {
+			i, j = 0, j+1
+			if j == k {
+				j, k = 1, k+1
+				if k == l {
+					k, l = 2, l+1
+				}
+			}
+		}
+	}
+	return part.Size()
+}
+
+// kernel3x1 is the 4-hit kernel of Algorithm 3: thread (i, j, k) runs one
+// inner loop over l = k+1 … G−1, with the three fixed rows pre-folded.
+func kernel3x1(env *kernelEnv, part sched.Partition, observe func(reduce.Combo)) uint64 {
+	tm, nm := env.tumor, env.normal
+	g := tm.Genes()
+	aw := env.active.Words()
+	tbuf := make([]uint64, tm.Words())
+	nbuf := make([]uint64, nm.Words())
+	var evaluated uint64
+
+	iu, ju, ku := combinat.LinearToTriple(part.Lo)
+	i, j, k := int(iu), int(ju), int(ku)
+	for lambda := part.Lo; lambda < part.Hi; lambda++ {
+		best := reduce.None
+		bitmat.AndWords(tbuf, aw, tm.Row(i))
+		bitmat.AndWords(tbuf, tbuf, tm.Row(j))
+		bitmat.AndWords(tbuf, tbuf, tm.Row(k))
+		bitmat.AndWords(nbuf, nm.Row(i), nm.Row(j))
+		bitmat.AndWords(nbuf, nbuf, nm.Row(k))
+		for l := k + 1; l < g; l++ {
+			tp := bitmat.PopAnd2(tbuf, tm.Row(l))
+			nh := bitmat.PopAnd2(nbuf, nm.Row(l))
+			if c := reduce.NewCombo(env.score(tp, nh), i, j, k, l); c.Better(best) {
+				best = c
+			}
+			evaluated++
+		}
+		observe(best)
+		i++
+		if i == j {
+			i, j = 0, j+1
+			if j == k {
+				i, j, k = 0, 1, k+1
+			}
+		}
+	}
+	return evaluated
+}

@@ -1,0 +1,120 @@
+package cover
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/reduce"
+)
+
+func TestFindTopKMatchesBruteForce(t *testing.T) {
+	for _, hits := range []int{2, 3, 4} {
+		for seed := int64(0); seed < 3; seed++ {
+			tumor, normal := randomPair(200+seed, 12, 40, 35, 0.4)
+			// Brute force: score everything via ExhaustiveBest machinery by
+			// collecting per-combination scores with FindTopK at k = C(G,h).
+			full, err := FindTopK(tumor, normal, nil, Options{Hits: hits, Workers: 1}, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The full list must be sorted and complete.
+			counts := map[int]int{2: 66, 3: 220, 4: 495}
+			if len(full) != counts[hits] {
+				t.Fatalf("hits=%d: enumerated %d combos, want %d", hits, len(full), counts[hits])
+			}
+			for i := 1; i < len(full); i++ {
+				if full[i].Better(full[i-1]) {
+					t.Fatalf("hits=%d: list not sorted at %d", hits, i)
+				}
+			}
+			// Top-1 equals FindBest.
+			best, _, err := FindBest(tumor, normal, nil, Options{Hits: hits})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full[0] != best {
+				t.Fatalf("hits=%d: top-1 %+v != FindBest %+v", hits, full[0], best)
+			}
+			// Top-K with several K and worker counts equals the prefix.
+			for _, k := range []int{1, 5, 17} {
+				for _, workers := range []int{1, 3, 8} {
+					got, err := FindTopK(tumor, normal, nil,
+						Options{Hits: hits, Workers: workers}, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := full
+					if len(want) > k {
+						want = want[:k]
+					}
+					if len(got) != len(want) {
+						t.Fatalf("hits=%d k=%d w=%d: got %d combos", hits, k, workers, len(got))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("hits=%d k=%d w=%d pos=%d: %+v != %+v",
+								hits, k, workers, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFindTopKValidation(t *testing.T) {
+	tumor, normal := randomPair(1, 10, 20, 20, 0.4)
+	if _, err := FindTopK(tumor, normal, nil, Options{Hits: 3}, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	_, other := randomPair(1, 11, 20, 20, 0.4)
+	if _, err := FindTopK(tumor, other, nil, Options{Hits: 3}, 5); err == nil {
+		t.Error("accepted mismatched matrices")
+	}
+	if _, err := FindTopK(tumor, normal, nil, Options{Hits: 9}, 5); err == nil {
+		t.Error("accepted bad hit count")
+	}
+}
+
+func TestTopKAccumulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	acc := reduce.NewTopK(5)
+	var all []reduce.Combo
+	for i := 0; i < 300; i++ {
+		p := rng.Perm(100)[:2]
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		c := reduce.NewCombo(float64(rng.Intn(40))/40, p[0], p[1])
+		all = append(all, c)
+		acc.Offer(c)
+	}
+	acc.Offer(reduce.None) // ignored
+	sort.Slice(all, func(a, b int) bool { return all[a].Better(all[b]) })
+	// Deduplicate nothing — Offer keeps duplicates; compare directly.
+	items := acc.Items()
+	if len(items) != 5 {
+		t.Fatalf("accumulator holds %d items", len(items))
+	}
+	for i := 0; i < 5; i++ {
+		if items[i] != all[i] {
+			t.Fatalf("pos %d: %+v != %+v", i, items[i], all[i])
+		}
+	}
+	// Merge: two halves equal the whole.
+	a, b := reduce.NewTopK(5), reduce.NewTopK(5)
+	for i, c := range all {
+		if i%2 == 0 {
+			a.Offer(c)
+		} else {
+			b.Offer(c)
+		}
+	}
+	a.Merge(b)
+	for i := 0; i < 5; i++ {
+		if a.Items()[i] != all[i] {
+			t.Fatalf("merged pos %d mismatch", i)
+		}
+	}
+}

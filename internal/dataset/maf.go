@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/gene"
+	"repro/internal/maf"
+)
+
+// ExportMAF writes the cohort's mutations of one sample class as MAF
+// records: one record per set matrix bit, with amino-acid positions for
+// profiled genes (from the cohort's positional records) and position 0
+// (unknown) elsewhere. The output round-trips through FromMAF.
+func (c *Cohort) ExportMAF(w io.Writer, class gene.SampleClass) error {
+	m, barcodes := c.Tumor, c.TumorBarcodes
+	if class == gene.Normal {
+		m, barcodes = c.Normal, c.NormalBarcodes
+	}
+	// Positional records for profiled genes, keyed by (symbol, barcode);
+	// each key's positions are consumed in order.
+	type key struct{ symbol, barcode string }
+	positions := map[key][]int{}
+	for _, mut := range c.Mutations {
+		if mut.Class != class {
+			continue
+		}
+		k := key{mut.GeneSymbol, mut.SampleBarcode}
+		positions[k] = append(positions[k], mut.Position)
+	}
+	var records []maf.Record
+	for g := 0; g < m.Genes(); g++ {
+		symbol := c.GeneSymbols[g]
+		for s := 0; s < m.Samples(); s++ {
+			if !m.Get(g, s) {
+				continue
+			}
+			rec := maf.Record{
+				HugoSymbol:     symbol,
+				Barcode:        barcodes[s],
+				Classification: "Missense_Mutation",
+			}
+			k := key{symbol, barcodes[s]}
+			if ps := positions[k]; len(ps) > 0 {
+				rec.ProteinPosition = ps[0]
+				positions[k] = ps[1:]
+			}
+			records = append(records, rec)
+		}
+	}
+	return maf.Write(w, records)
+}
+
+// FromMAF builds a cohort from tumor and normal MAF streams, mirroring the
+// paper's ingestion path: records are summarized per class, then aligned
+// onto the union gene universe (sorted symbols). Silent calls are dropped.
+// The resulting cohort has no planted ground truth; Spec carries only the
+// shape.
+//
+// As with real MAF files, a sample appears only if it has at least one
+// non-silent mutation call — all-wild-type samples need an external
+// manifest the format does not carry, so cohort sizes can shrink relative
+// to the export source.
+func FromMAF(code string, tumor, normal io.Reader) (*Cohort, error) {
+	tr, err := maf.Read(tumor)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: tumor MAF: %w", err)
+	}
+	nr, err := maf.Read(normal)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: normal MAF: %w", err)
+	}
+	ts, err := maf.Summarize(tr, true)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := maf.Summarize(nr, true)
+	if err != nil {
+		return nil, err
+	}
+	// Union gene universe, sorted.
+	set := map[string]bool{}
+	for _, g := range ts.Genes {
+		set[g] = true
+	}
+	for _, g := range ns.Genes {
+		set[g] = true
+	}
+	var symbols []string
+	for g := range set {
+		symbols = append(symbols, g)
+	}
+	sort.Strings(symbols)
+	universe := make(map[string]int, len(symbols))
+	for i, g := range symbols {
+		universe[g] = i
+	}
+	tm, _, err := ts.Align(universe, len(symbols))
+	if err != nil {
+		return nil, err
+	}
+	nm, _, err := ns.Align(universe, len(symbols))
+	if err != nil {
+		return nil, err
+	}
+	c := &Cohort{
+		Spec: Spec{
+			Code:          code,
+			Name:          code + " (from MAF)",
+			Genes:         len(symbols),
+			TumorSamples:  tm.Samples(),
+			NormalSamples: nm.Samples(),
+			Hits:          4,
+			PlantedCombos: 1, // placeholder: no ground truth in real data
+			DriverMutProb: 1,
+		},
+		GeneSymbols:    symbols,
+		Tumor:          tm,
+		Normal:         nm,
+		TumorBarcodes:  ts.Samples,
+		NormalBarcodes: ns.Samples,
+	}
+	// Re-attach positional records for downstream Fig. 10-style analyses.
+	for _, r := range tr {
+		if r.Silent() || r.ProteinPosition == 0 {
+			continue
+		}
+		c.Mutations = append(c.Mutations, gene.Mutation{
+			GeneSymbol:    r.HugoSymbol,
+			SampleBarcode: r.Barcode,
+			Class:         gene.Tumor,
+			Position:      r.ProteinPosition,
+		})
+	}
+	for _, r := range nr {
+		if r.Silent() || r.ProteinPosition == 0 {
+			continue
+		}
+		c.Mutations = append(c.Mutations, gene.Mutation{
+			GeneSymbol:    r.HugoSymbol,
+			SampleBarcode: r.Barcode,
+			Class:         gene.Normal,
+			Position:      r.ProteinPosition,
+		})
+	}
+	return c, nil
+}

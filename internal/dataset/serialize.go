@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bitmat"
+	"repro/internal/gene"
+)
+
+// cohortHeader is the JSON-encoded metadata written ahead of the binary
+// matrices: everything in a Cohort except the bit matrices themselves.
+type cohortHeader struct {
+	Version        int             `json:"version"`
+	Spec           Spec            `json:"spec"`
+	GeneSymbols    []string        `json:"gene_symbols"`
+	TumorBarcodes  []string        `json:"tumor_barcodes"`
+	NormalBarcodes []string        `json:"normal_barcodes"`
+	Planted        [][]int         `json:"planted"`
+	Mutations      []gene.Mutation `json:"mutations"`
+}
+
+const cohortVersion = 1
+
+// Save serializes the full cohort — spec, gene symbols, barcodes, planted
+// ground truth, positional mutation records and both bit matrices — to a
+// single stream. Load restores it exactly.
+func (c *Cohort) Save(w io.Writer) error {
+	hdr := cohortHeader{
+		Version:        cohortVersion,
+		Spec:           c.Spec,
+		GeneSymbols:    c.GeneSymbols,
+		TumorBarcodes:  c.TumorBarcodes,
+		NormalBarcodes: c.NormalBarcodes,
+		Planted:        c.Planted,
+		Mutations:      c.Mutations,
+	}
+	blob, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("dataset: encoding cohort header: %w", err)
+	}
+	// Length-prefixed JSON header, then the two matrices.
+	if _, err := fmt.Fprintf(w, "COHORT1 %d\n", len(blob)); err != nil {
+		return err
+	}
+	if _, err := w.Write(blob); err != nil {
+		return err
+	}
+	if _, err := c.Tumor.WriteTo(w); err != nil {
+		return fmt.Errorf("dataset: writing tumor matrix: %w", err)
+	}
+	if _, err := c.Normal.WriteTo(w); err != nil {
+		return fmt.Errorf("dataset: writing normal matrix: %w", err)
+	}
+	return nil
+}
+
+// Load restores a cohort written by Save.
+func Load(r io.Reader) (*Cohort, error) {
+	var size int
+	if _, err := fmt.Fscanf(r, "COHORT1 %d\n", &size); err != nil {
+		return nil, fmt.Errorf("dataset: bad cohort magic: %w", err)
+	}
+	const maxHeader = 1 << 30
+	if size <= 0 || size > maxHeader {
+		return nil, fmt.Errorf("dataset: implausible header size %d", size)
+	}
+	blob := make([]byte, size)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, fmt.Errorf("dataset: reading cohort header: %w", err)
+	}
+	var hdr cohortHeader
+	if err := json.Unmarshal(blob, &hdr); err != nil {
+		return nil, fmt.Errorf("dataset: decoding cohort header: %w", err)
+	}
+	if hdr.Version != cohortVersion {
+		return nil, fmt.Errorf("dataset: cohort version %d, want %d", hdr.Version, cohortVersion)
+	}
+	tumor, err := bitmat.ReadMatrix(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading tumor matrix: %w", err)
+	}
+	normal, err := bitmat.ReadMatrix(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading normal matrix: %w", err)
+	}
+	c := &Cohort{
+		Spec:           hdr.Spec,
+		GeneSymbols:    hdr.GeneSymbols,
+		Tumor:          tumor,
+		Normal:         normal,
+		TumorBarcodes:  hdr.TumorBarcodes,
+		NormalBarcodes: hdr.NormalBarcodes,
+		Planted:        hdr.Planted,
+		Mutations:      hdr.Mutations,
+	}
+	// Structural consistency between header and matrices.
+	if len(c.GeneSymbols) != tumor.Genes() || tumor.Genes() != normal.Genes() {
+		return nil, fmt.Errorf("dataset: cohort header names %d genes, matrices have %d/%d",
+			len(c.GeneSymbols), tumor.Genes(), normal.Genes())
+	}
+	if len(c.TumorBarcodes) != tumor.Samples() || len(c.NormalBarcodes) != normal.Samples() {
+		return nil, fmt.Errorf("dataset: barcode counts do not match matrix columns")
+	}
+	return c, nil
+}

@@ -1,0 +1,39 @@
+package maf_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/maf"
+)
+
+// Summarize collapses per-mutation MAF records into the binary gene×sample
+// matrix the multi-hit algorithm consumes (Sec. III-G).
+func ExampleSummarize() {
+	input := strings.Join([]string{
+		"Hugo_Symbol\tTumor_Sample_Barcode\tVariant_Classification",
+		"IDH1\tT1\tMissense_Mutation",
+		"IDH1\tT2\tMissense_Mutation",
+		"MUC6\tT1\tNonsense_Mutation",
+		"TP53\tT2\tSilent",
+	}, "\n")
+	records, err := maf.Read(strings.NewReader(input))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s, err := maf.Summarize(records, true) // drop silent calls
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(s.Genes)
+	fmt.Println(s.Samples)
+	fmt.Println(s.Matrix.Get(s.GeneIndex("IDH1"), s.SampleIndex("T2")))
+	fmt.Println(s.Dropped)
+	// Output:
+	// [IDH1 MUC6]
+	// [T1 T2]
+	// true
+	// 1
+}

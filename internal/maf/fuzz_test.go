@@ -1,0 +1,43 @@
+package maf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary input never panics the parser and that
+// anything it accepts round-trips through Write/Read to the same records.
+func FuzzRead(f *testing.F) {
+	f.Add("Hugo_Symbol\tTumor_Sample_Barcode\nIDH1\tTCGA-X-T0001\n")
+	f.Add("#version 2.4\nHugo_Symbol\tTumor_Sample_Barcode\tProtein_position\nA\tT1\t132/414\n")
+	f.Add("Hugo_Symbol\tTumor_Sample_Barcode\tVariant_Classification\nMUC6\tT2\tSilent\n")
+	f.Add("")
+	f.Add("garbage\nwith\nlines")
+	f.Fuzz(func(t *testing.T, input string) {
+		records, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted records must be structurally sound and survive a
+		// round trip (modulo default classification fill-in).
+		var buf bytes.Buffer
+		if err := Write(&buf, records); err != nil {
+			t.Fatalf("Write rejected records Read produced: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read failed: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(records), len(again))
+		}
+		for i := range records {
+			if again[i].HugoSymbol != records[i].HugoSymbol ||
+				again[i].Barcode != records[i].Barcode ||
+				again[i].ProteinPosition != records[i].ProteinPosition {
+				t.Fatalf("record %d changed: %+v -> %+v", i, records[i], again[i])
+			}
+		}
+	})
+}

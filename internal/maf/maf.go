@@ -1,0 +1,243 @@
+// Package maf reads and writes a subset of the Mutation Annotation Format
+// (MAF), the tab-separated exchange format in which TCGA distributes
+// somatic mutation calls, and summarizes MAF records into the bit-packed
+// gene×sample matrices the multi-hit algorithm consumes ("Gene mutation
+// data in mutation annotation format (MAF) ... were downloaded from the
+// cancer genome atlas (TCGA) and summarized for input to the multi-hit
+// algorithm", Sec. III-G).
+//
+// Only the columns the pipeline needs are modeled: Hugo symbol, sample
+// barcode, variant classification and protein position. Unknown columns in
+// input files are ignored; silent (synonymous) calls can be filtered during
+// summarization, mirroring the paper's use of protein-altering mutations.
+package maf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitmat"
+)
+
+// Record is one somatic mutation call.
+type Record struct {
+	// HugoSymbol is the gene symbol.
+	HugoSymbol string
+	// Barcode is the tumor sample barcode.
+	Barcode string
+	// Classification is the variant classification, e.g.
+	// "Missense_Mutation" or "Silent".
+	Classification string
+	// ProteinPosition is the amino-acid position of the change; 0 when
+	// unknown (e.g. non-coding variants).
+	ProteinPosition int
+}
+
+// Silent reports whether the record is a synonymous call that the
+// summarizer should drop when protein-altering filtering is on.
+func (r Record) Silent() bool {
+	return strings.EqualFold(r.Classification, "Silent")
+}
+
+// header is the column order this package writes and the minimum set it
+// requires on read.
+var header = []string{
+	"Hugo_Symbol",
+	"Tumor_Sample_Barcode",
+	"Variant_Classification",
+	"Protein_position",
+}
+
+// Write serializes records as a MAF-style TSV with a header line. Records
+// are written in input order.
+func Write(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(strings.Join(header, "\t") + "\n"); err != nil {
+		return err
+	}
+	for i, r := range records {
+		if r.HugoSymbol == "" || r.Barcode == "" {
+			return fmt.Errorf("maf: record %d missing gene symbol or barcode", i)
+		}
+		pos := ""
+		if r.ProteinPosition > 0 {
+			pos = strconv.Itoa(r.ProteinPosition)
+		}
+		cls := r.Classification
+		if cls == "" {
+			cls = "Missense_Mutation"
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n", r.HugoSymbol, r.Barcode, cls, pos); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a MAF-style TSV. Header columns may appear in any order and
+// extra columns are ignored; lines starting with '#' are comments (TCGA
+// MAFs begin with a version pragma).
+func Read(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	col := map[string]int{}
+	var records []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(col) == 0 {
+			for i, name := range fields {
+				col[name] = i
+			}
+			for _, need := range []string{"Hugo_Symbol", "Tumor_Sample_Barcode"} {
+				if _, ok := col[need]; !ok {
+					return nil, fmt.Errorf("maf: line %d: missing required column %s", lineNo, need)
+				}
+			}
+			continue
+		}
+		get := func(name string) string {
+			i, ok := col[name]
+			if !ok || i >= len(fields) {
+				return ""
+			}
+			return fields[i]
+		}
+		rec := Record{
+			HugoSymbol:     get("Hugo_Symbol"),
+			Barcode:        get("Tumor_Sample_Barcode"),
+			Classification: get("Variant_Classification"),
+		}
+		if rec.HugoSymbol == "" || rec.Barcode == "" {
+			return nil, fmt.Errorf("maf: line %d: empty gene symbol or barcode", lineNo)
+		}
+		if p := get("Protein_position"); p != "" {
+			// TCGA writes "132/414" (position/length) in some exports;
+			// take the leading integer.
+			if slash := strings.IndexByte(p, '/'); slash >= 0 {
+				p = p[:slash]
+			}
+			pos, err := strconv.Atoi(p)
+			if err != nil || pos < 0 {
+				return nil, fmt.Errorf("maf: line %d: bad protein position %q", lineNo, p)
+			}
+			rec.ProteinPosition = pos
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(col) == 0 {
+		return nil, errors.New("maf: no header line")
+	}
+	return records, nil
+}
+
+// Summary is the matrix form of a MAF file: the input the multi-hit
+// algorithm takes.
+type Summary struct {
+	// Genes maps gene symbol → row, in sorted-symbol order.
+	Genes []string
+	// Samples maps barcode → column, in sorted-barcode order.
+	Samples []string
+	// Matrix is the bit-packed gene×sample mutation matrix.
+	Matrix *bitmat.Matrix
+	// Dropped counts records excluded by the silent filter.
+	Dropped int
+}
+
+// GeneIndex returns the row for a symbol, or -1.
+func (s *Summary) GeneIndex(symbol string) int {
+	return index(s.Genes, symbol)
+}
+
+// SampleIndex returns the column for a barcode, or -1.
+func (s *Summary) SampleIndex(barcode string) int {
+	return index(s.Samples, barcode)
+}
+
+func index(sorted []string, key string) int {
+	i := sort.SearchStrings(sorted, key)
+	if i < len(sorted) && sorted[i] == key {
+		return i
+	}
+	return -1
+}
+
+// Summarize collapses per-mutation records into a binary gene×sample
+// matrix: bit (g, s) is set when sample s has at least one (optionally
+// non-silent) mutation in gene g. Gene and sample universes are exactly
+// those present in the records, in sorted order, so summaries are
+// deterministic regardless of record order.
+func Summarize(records []Record, dropSilent bool) (*Summary, error) {
+	geneSet := map[string]bool{}
+	sampleSet := map[string]bool{}
+	kept := make([]Record, 0, len(records))
+	dropped := 0
+	for _, r := range records {
+		if dropSilent && r.Silent() {
+			dropped++
+			continue
+		}
+		if r.HugoSymbol == "" || r.Barcode == "" {
+			return nil, fmt.Errorf("maf: record with empty gene symbol or barcode")
+		}
+		geneSet[r.HugoSymbol] = true
+		sampleSet[r.Barcode] = true
+		kept = append(kept, r)
+	}
+	s := &Summary{Dropped: dropped}
+	for g := range geneSet {
+		s.Genes = append(s.Genes, g)
+	}
+	for b := range sampleSet {
+		s.Samples = append(s.Samples, b)
+	}
+	sort.Strings(s.Genes)
+	sort.Strings(s.Samples)
+	s.Matrix = bitmat.New(len(s.Genes), len(s.Samples))
+	for _, r := range kept {
+		s.Matrix.Set(s.GeneIndex(r.HugoSymbol), s.SampleIndex(r.Barcode))
+	}
+	return s, nil
+}
+
+// Align re-projects the summary's matrix onto an external gene universe
+// (symbol → row), producing a matrix with the given gene dimension and this
+// summary's samples. Genes absent from the universe are skipped; the
+// returned count reports how many matrix bits were placed. This is how a
+// tumor MAF and a normal MAF are brought onto one shared gene axis.
+func (s *Summary) Align(universe map[string]int, rows int) (*bitmat.Matrix, int, error) {
+	if rows <= 0 {
+		return nil, 0, fmt.Errorf("maf: alignment universe has %d rows", rows)
+	}
+	out := bitmat.New(rows, len(s.Samples))
+	placed := 0
+	for gi, symbol := range s.Genes {
+		row, ok := universe[symbol]
+		if !ok {
+			continue
+		}
+		if row < 0 || row >= rows {
+			return nil, 0, fmt.Errorf("maf: universe maps %s to row %d of %d", symbol, row, rows)
+		}
+		for col := 0; col < len(s.Samples); col++ {
+			if s.Matrix.Get(gi, col) {
+				out.Set(row, col)
+				placed++
+			}
+		}
+	}
+	return out, placed, nil
+}

@@ -1,0 +1,218 @@
+package maf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() []Record {
+	return []Record{
+		{HugoSymbol: "IDH1", Barcode: "TCGA-LGG-T0001", Classification: "Missense_Mutation", ProteinPosition: 132},
+		{HugoSymbol: "MUC6", Barcode: "TCGA-LGG-T0001", Classification: "Nonsense_Mutation", ProteinPosition: 88},
+		{HugoSymbol: "IDH1", Barcode: "TCGA-LGG-T0002", Classification: "Missense_Mutation", ProteinPosition: 132},
+		{HugoSymbol: "TP53", Barcode: "TCGA-LGG-T0003", Classification: "Silent", ProteinPosition: 20},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip returned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadHandlesCommentsAndColumnOrder(t *testing.T) {
+	input := strings.Join([]string{
+		"#version 2.4",
+		"Center\tTumor_Sample_Barcode\tProtein_position\tHugo_Symbol\tVariant_Classification",
+		"broad\tTCGA-X-T0001\t132/414\tIDH1\tMissense_Mutation",
+		"",
+		"broad\tTCGA-X-T0002\t\tMUC6\tSilent",
+	}, "\n")
+	got, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if got[0].HugoSymbol != "IDH1" || got[0].ProteinPosition != 132 {
+		t.Errorf("record 0 = %+v", got[0])
+	}
+	if got[1].ProteinPosition != 0 || !got[1].Silent() {
+		t.Errorf("record 1 = %+v", got[1])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"#only a comment",
+		"NotTheRightColumns\tAtAll\nx\ty",
+		"Hugo_Symbol\tTumor_Sample_Barcode\n\tTCGA-X-T0001",
+		"Hugo_Symbol\tTumor_Sample_Barcode\tProtein_position\nIDH1\tTCGA-X-T0001\tnotanumber",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: Read accepted malformed input", i)
+		}
+	}
+}
+
+func TestWriteRejectsEmptyFields(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, []Record{{HugoSymbol: "", Barcode: "X"}}); err == nil {
+		t.Fatal("Write accepted empty gene symbol")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize(sample(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dropped != 1 {
+		t.Fatalf("dropped %d silent records, want 1", s.Dropped)
+	}
+	// Universe: IDH1, MUC6 (TP53 was silent-only), samples T0001, T0002.
+	if len(s.Genes) != 2 || len(s.Samples) != 2 {
+		t.Fatalf("universe %v × %v", s.Genes, s.Samples)
+	}
+	if s.GeneIndex("IDH1") < 0 || s.GeneIndex("TP53") != -1 {
+		t.Fatal("gene indexing wrong")
+	}
+	// IDH1 mutated in both samples; MUC6 in T0001 only.
+	idh1, muc6 := s.GeneIndex("IDH1"), s.GeneIndex("MUC6")
+	c1, c2 := s.SampleIndex("TCGA-LGG-T0001"), s.SampleIndex("TCGA-LGG-T0002")
+	if !s.Matrix.Get(idh1, c1) || !s.Matrix.Get(idh1, c2) {
+		t.Fatal("IDH1 bits wrong")
+	}
+	if !s.Matrix.Get(muc6, c1) || s.Matrix.Get(muc6, c2) {
+		t.Fatal("MUC6 bits wrong")
+	}
+}
+
+func TestSummarizeKeepSilent(t *testing.T) {
+	s, err := Summarize(sample(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dropped != 0 || len(s.Genes) != 3 || len(s.Samples) != 3 {
+		t.Fatalf("keep-silent summary: dropped=%d genes=%v", s.Dropped, s.Genes)
+	}
+}
+
+func TestSummarizeOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := sample()
+		rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+		a, err := Summarize(recs, true)
+		if err != nil {
+			return false
+		}
+		b, err := Summarize(sample(), true)
+		if err != nil {
+			return false
+		}
+		return a.Matrix.Equal(b.Matrix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	s, err := Summarize(sample(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// External universe places IDH1 at row 5, omits MUC6.
+	universe := map[string]int{"IDH1": 5, "TP53": 0}
+	m, placed, err := s.Align(universe, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Genes() != 10 || m.Samples() != 2 {
+		t.Fatalf("aligned matrix %d×%d", m.Genes(), m.Samples())
+	}
+	if placed != 2 { // IDH1 in two samples
+		t.Fatalf("placed %d bits, want 2", placed)
+	}
+	if !m.Get(5, 0) || !m.Get(5, 1) {
+		t.Fatal("IDH1 bits not at row 5")
+	}
+	// Out-of-range universe rows are rejected.
+	if _, _, err := s.Align(map[string]int{"IDH1": 10}, 10); err == nil {
+		t.Fatal("Align accepted out-of-range row")
+	}
+	if _, _, err := s.Align(universe, 0); err == nil {
+		t.Fatal("Align accepted zero-row universe")
+	}
+}
+
+func TestEndToEndMAFPipeline(t *testing.T) {
+	// Write records for two classes, read them back, summarize both onto a
+	// shared universe, and check the matrices match the records.
+	tumorRecs := []Record{
+		{HugoSymbol: "A", Barcode: "T1"}, {HugoSymbol: "B", Barcode: "T1"},
+		{HugoSymbol: "A", Barcode: "T2"},
+	}
+	normalRecs := []Record{
+		{HugoSymbol: "B", Barcode: "N1"},
+	}
+	var tb, nb bytes.Buffer
+	if err := Write(&tb, tumorRecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&nb, normalRecs); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := Read(&nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Summarize(tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Summarize(nr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := map[string]int{"A": 0, "B": 1}
+	tm, _, err := ts.Align(universe, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, _, err := ns.Align(universe, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Get(0, ts.SampleIndex("T1")) || !tm.Get(1, ts.SampleIndex("T1")) ||
+		!tm.Get(0, ts.SampleIndex("T2")) || tm.Get(1, ts.SampleIndex("T2")) {
+		t.Fatal("tumor matrix wrong")
+	}
+	if !nm.Get(1, 0) || nm.Get(0, 0) {
+		t.Fatal("normal matrix wrong")
+	}
+}

@@ -1,0 +1,36 @@
+package mpisim_test
+
+import (
+	"fmt"
+
+	"repro/internal/mpisim"
+)
+
+// Four ranks compute for different durations, then all-reduce their
+// maximum under the virtual clock: the collective really executes, and
+// every rank's clock advances to the slowest participant's.
+func ExampleWorld_Run() {
+	w := mpisim.NewWorld(4, mpisim.Params{LatencySec: 0.001, BandwidthBytes: 1e9})
+	err := w.Run(func(r *mpisim.Rank) error {
+		r.Compute(float64(r.ID()+1) * 10)
+		max := r.AllReduce(r.ID(), 8, func(a, b any) any {
+			if a.(int) > b.(int) {
+				return a
+			}
+			return b
+		})
+		if r.ID() == 0 {
+			fmt.Println("max rank id:", max)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("rank 0 compute %.0fs, total clock > 40: %v\n",
+		w.ComputeTime(0), w.Clock(0) > 40)
+	// Output:
+	// max rank id: 3
+	// rank 0 compute 10s, total clock > 40: true
+}

@@ -1,0 +1,340 @@
+// Package mpisim is an in-process stand-in for the MPI runtime the paper
+// uses across Summit nodes: one rank per node, point-to-point messages,
+// and the tree collectives (Reduce/Bcast/Barrier/Gather) the multi-hit
+// pipeline needs.
+//
+// Ranks run as goroutines and exchange real payloads over channels, so the
+// reduction that funnels each rank's best 20-byte combination to rank 0 is
+// actually executed, not merely costed. Alongside the real exchange, every
+// rank advances a virtual clock under a latency+bandwidth (LogP-style) cost
+// model and keeps a ledger splitting elapsed virtual time into compute and
+// communication — the quantities behind Fig. 8's per-rank compute/comm
+// breakdown. Virtual time is fully deterministic: it depends only on the
+// communication structure, never on goroutine scheduling.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Params is the communication cost model.
+type Params struct {
+	// LatencySec is the fixed per-message cost.
+	LatencySec float64
+	// BandwidthBytes is the link bandwidth in bytes/second.
+	BandwidthBytes float64
+}
+
+// Summit returns a cost model for Summit's dual-rail EDR InfiniBand
+// inter-node fabric.
+func Summit() Params {
+	return Params{LatencySec: 1.5e-6, BandwidthBytes: 23e9}
+}
+
+// message is one in-flight point-to-point transfer.
+type message struct {
+	from    int
+	payload any
+	bytes   int
+	arrival float64 // receiver-side virtual availability time
+}
+
+// World is a set of ranks sharing a communication fabric.
+type World struct {
+	n      int
+	params Params
+	inbox  []chan message
+	// failed is closed when any rank's body returns an error or panics,
+	// releasing every rank blocked in Send/Recv so Run can return instead
+	// of deadlocking on messages the dead rank will never send.
+	failed   chan struct{}
+	failOnce sync.Once
+	// Per-rank ledgers, indexed by rank; each entry is written only by its
+	// own rank's goroutine during Run.
+	clock   []float64
+	compute []float64
+	comm    []float64
+	wait    []float64
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int, p Params) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpisim: world size must be positive, got %d", n))
+	}
+	w := &World{
+		n:       n,
+		params:  p,
+		failed:  make(chan struct{}),
+		inbox:   make([]chan message, n),
+		clock:   make([]float64, n),
+		compute: make([]float64, n),
+		comm:    make([]float64, n),
+		wait:    make([]float64, n),
+	}
+	for i := range w.inbox {
+		w.inbox[i] = make(chan message, 256)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Clock returns a rank's virtual clock. Valid after Run returns.
+func (w *World) Clock(rank int) float64 { return w.clock[rank] }
+
+// ComputeTime returns a rank's accumulated compute time.
+func (w *World) ComputeTime(rank int) float64 { return w.compute[rank] }
+
+// CommTime returns a rank's accumulated message-passing time (send costs
+// plus the wire time of late-arriving receives). Idle time spent waiting
+// for a slower peer's compute is booked separately as WaitTime: Fig. 8's
+// observation is that comm overhead proper is hidden under compute
+// imbalance.
+func (w *World) CommTime(rank int) float64 { return w.comm[rank] }
+
+// WaitTime returns a rank's accumulated idle time: clock advanced while
+// blocked on messages that had not yet been sent.
+func (w *World) WaitTime(rank int) float64 { return w.wait[rank] }
+
+// MaxClock returns the latest virtual clock across ranks — the simulated
+// job runtime.
+func (w *World) MaxClock() float64 {
+	max := 0.0
+	for _, c := range w.clock {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Run executes body once per rank, concurrently, and waits for all ranks.
+// It returns the first non-nil error (panics in rank bodies are converted
+// to errors). A World must not be reused after Run.
+func (w *World) Run(body func(r *Rank) error) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	for id := 0; id < w.n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[id] = fmt.Errorf("mpisim: rank %d panicked: %v", id, p)
+				}
+				if errs[id] != nil {
+					w.failOnce.Do(func() { close(w.failed) })
+				}
+			}()
+			errs[id] = body(&Rank{id: id, w: w})
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank is one process's handle onto the world.
+type Rank struct {
+	id      int
+	w       *World
+	pending []message // out-of-order arrivals awaiting a matching Recv
+}
+
+// ID returns this rank's id.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.n }
+
+// Compute advances this rank's clock by a block of computation.
+func (r *Rank) Compute(seconds float64) {
+	if seconds < 0 {
+		panic("mpisim: negative compute time")
+	}
+	r.w.clock[r.id] += seconds
+	r.w.compute[r.id] += seconds
+}
+
+// Send transmits payload to another rank. The sender pays
+// latency + bytes/bandwidth of virtual time.
+func (r *Rank) Send(to int, payload any, bytes int) {
+	if to < 0 || to >= r.w.n {
+		panic(fmt.Sprintf("mpisim: send to invalid rank %d", to))
+	}
+	if to == r.id {
+		panic("mpisim: send to self")
+	}
+	cost := r.w.params.LatencySec
+	if r.w.params.BandwidthBytes > 0 {
+		cost += float64(bytes) / r.w.params.BandwidthBytes
+	}
+	r.w.clock[r.id] += cost
+	r.w.comm[r.id] += cost
+	select {
+	case r.w.inbox[to] <- message{from: r.id, payload: payload, bytes: bytes, arrival: r.w.clock[r.id]}:
+	case <-r.w.failed:
+		panic(fmt.Sprintf("mpisim: rank %d aborted send to %d: a peer rank failed", r.id, to))
+	}
+}
+
+// Recv blocks until a message from the given rank is available and returns
+// its payload. Waiting for a not-yet-arrived message advances this rank's
+// clock to the message's arrival time; the gap up to the moment the sender
+// finished computing is booked as idle wait, and the message's wire time as
+// communication.
+func (r *Rank) Recv(from int) any {
+	if from < 0 || from >= r.w.n {
+		panic(fmt.Sprintf("mpisim: recv from invalid rank %d", from))
+	}
+	msg, ok := r.takePending(from)
+	for !ok {
+		var m message
+		select {
+		case m = <-r.w.inbox[r.id]:
+		case <-r.w.failed:
+			panic(fmt.Sprintf("mpisim: rank %d aborted recv from %d: a peer rank failed", r.id, from))
+		}
+		if m.from == from {
+			msg, ok = m, true
+		} else {
+			r.pending = append(r.pending, m)
+		}
+	}
+	if msg.arrival > r.w.clock[r.id] {
+		gap := msg.arrival - r.w.clock[r.id]
+		wire := r.w.params.LatencySec
+		if r.w.params.BandwidthBytes > 0 {
+			wire += float64(msg.bytes) / r.w.params.BandwidthBytes
+		}
+		if wire > gap {
+			wire = gap
+		}
+		r.w.comm[r.id] += wire
+		r.w.wait[r.id] += gap - wire
+		r.w.clock[r.id] = msg.arrival
+	}
+	return msg.payload
+}
+
+// takePending removes and returns the oldest pending message from a rank.
+func (r *Rank) takePending(from int) (message, bool) {
+	for i, m := range r.pending {
+		if m.from == from {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// Reduce folds every rank's value to rank 0 through a binomial tree and
+// returns the folded value at rank 0 (other ranks return their partial
+// fold). combine must be associative and commutative; bytes is the wire
+// size of one value.
+func (r *Rank) Reduce(value any, bytes int, combine func(a, b any) any) any {
+	acc := value
+	for step := 1; step < r.w.n; step <<= 1 {
+		if r.id&step != 0 {
+			r.Send(r.id-step, acc, bytes)
+			return acc
+		}
+		if r.id+step < r.w.n {
+			acc = combine(acc, r.Recv(r.id+step))
+		}
+	}
+	return acc
+}
+
+// Bcast distributes rank 0's value to every rank through a binomial tree
+// and returns it.
+func (r *Rank) Bcast(value any, bytes int) any {
+	// Find the highest step at which this rank receives.
+	if r.id != 0 {
+		step := 1
+		for step<<1 <= r.id {
+			step <<= 1
+		}
+		// r.id's parent is r.id − step where step is the highest set bit.
+		value = r.Recv(r.id - step)
+	}
+	// Forward to children: steps above our own high bit.
+	low := 1
+	if r.id != 0 {
+		for low<<1 <= r.id {
+			low <<= 1
+		}
+		low <<= 1
+	}
+	// Children of rank id in a binomial bcast are id+step for step ≥ low
+	// (id 0: all powers of two).
+	for step := low; r.id+step < r.w.n; step <<= 1 {
+		if r.id&step == 0 {
+			r.Send(r.id+step, value, bytes)
+		} else {
+			break
+		}
+	}
+	return value
+}
+
+// Barrier synchronizes all ranks (reduce of an empty token, then a
+// broadcast).
+func (r *Rank) Barrier() {
+	r.Reduce(nil, 0, func(a, b any) any { return nil })
+	r.Bcast(nil, 0)
+}
+
+// Gather collects every rank's value at rank 0, which receives them in
+// rank order; rank 0 returns the full slice (its own value first), other
+// ranks return nil.
+func (r *Rank) Gather(value any, bytes int) []any {
+	if r.id != 0 {
+		r.Send(0, value, bytes)
+		return nil
+	}
+	out := make([]any, r.w.n)
+	out[0] = value
+	for from := 1; from < r.w.n; from++ {
+		out[from] = r.Recv(from)
+	}
+	return out
+}
+
+// AllReduce folds every rank's value and distributes the result to all
+// ranks.
+func (r *Rank) AllReduce(value any, bytes int, combine func(a, b any) any) any {
+	folded := r.Reduce(value, bytes, combine)
+	return r.Bcast(folded, bytes)
+}
+
+// Scatter distributes rank 0's values slice, one element per rank; every
+// rank returns its own element. Rank 0's values must have world-size
+// length (other ranks pass nil).
+func (r *Rank) Scatter(values []any, bytes int) any {
+	if r.id == 0 {
+		if len(values) != r.w.n {
+			panic(fmt.Sprintf("mpisim: Scatter needs %d values, got %d", r.w.n, len(values)))
+		}
+		for to := 1; to < r.w.n; to++ {
+			r.Send(to, values[to], bytes)
+		}
+		return values[0]
+	}
+	return r.Recv(0)
+}
+
+// AllGather collects every rank's value at every rank, in rank order
+// (gather to rank 0, then broadcast the full slice).
+func (r *Rank) AllGather(value any, bytes int) []any {
+	gathered := r.Gather(value, bytes)
+	out := r.Bcast(gathered, bytes*r.w.n)
+	return out.([]any)
+}

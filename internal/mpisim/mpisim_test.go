@@ -1,0 +1,437 @@
+package mpisim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/reduce"
+)
+
+func params() Params { return Params{LatencySec: 1e-6, BandwidthBytes: 1e9} }
+
+func TestSendRecvPayload(t *testing.T) {
+	w := NewWorld(2, params())
+	err := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, "hello", 5)
+		} else {
+			if got := r.Recv(0); got != "hello" {
+				t.Errorf("Recv = %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	w := NewWorld(2, Params{LatencySec: 1, BandwidthBytes: 100})
+	err := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(10)
+			r.Send(1, nil, 200) // cost 1 + 200/100 = 3
+		} else {
+			r.Recv(0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Clock(0); got != 13 {
+		t.Fatalf("sender clock = %g, want 13", got)
+	}
+	// Receiver waited from 0 to the arrival at 13.
+	if got := w.Clock(1); got != 13 {
+		t.Fatalf("receiver clock = %g, want 13", got)
+	}
+	if w.ComputeTime(0) != 10 || w.CommTime(0) != 3 {
+		t.Fatalf("sender ledger = (%g, %g), want (10, 3)",
+			w.ComputeTime(0), w.CommTime(0))
+	}
+	// The receiver's 13 s gap splits into 3 s of wire time (comm) and 10 s
+	// of idle wait for the sender's compute.
+	if w.CommTime(1) != 3 {
+		t.Fatalf("receiver comm = %g, want 3", w.CommTime(1))
+	}
+	if w.WaitTime(1) != 10 {
+		t.Fatalf("receiver wait = %g, want 10", w.WaitTime(1))
+	}
+}
+
+func TestRecvDoesNotWaitForEarlyMessage(t *testing.T) {
+	// If the receiver's clock is already past the arrival time, no wait is
+	// booked.
+	w := NewWorld(2, Params{LatencySec: 1, BandwidthBytes: 0})
+	err := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, nil, 0) // arrival at t=1
+		} else {
+			r.Compute(50)
+			r.Recv(0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Clock(1) != 50 || w.CommTime(1) != 0 || w.WaitTime(1) != 0 {
+		t.Fatalf("receiver clock=%g comm=%g wait=%g, want 50, 0, 0",
+			w.Clock(1), w.CommTime(1), w.WaitTime(1))
+	}
+}
+
+func TestOutOfOrderRecv(t *testing.T) {
+	// Rank 0 receives from 2 first even though 1's message arrives first.
+	w := NewWorld(3, params())
+	err := w.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			if got := r.Recv(2); got != "two" {
+				t.Errorf("Recv(2) = %v", got)
+			}
+			if got := r.Recv(1); got != "one" {
+				t.Errorf("Recv(1) = %v", got)
+			}
+		case 1:
+			r.Send(0, "one", 3)
+		case 2:
+			r.Send(0, "two", 3)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceComputesGlobalMax(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 33, 100} {
+		w := NewWorld(n, params())
+		var got atomic.Value
+		err := w.Run(func(r *Rank) error {
+			mine := reduce.NewCombo(float64(r.ID())/float64(n), r.ID()+1, r.ID()+2)
+			folded := r.Reduce(mine, reduce.BytesPerRecord, func(a, b any) any {
+				ca, cb := a.(reduce.Combo), b.(reduce.Combo)
+				if cb.Better(ca) {
+					return cb
+				}
+				return ca
+			})
+			if r.ID() == 0 {
+				got.Store(folded.(reduce.Combo))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := got.Load().(reduce.Combo)
+		want := reduce.NewCombo(float64(n-1)/float64(n), n, n+1)
+		if best != want {
+			t.Fatalf("n=%d: reduce = %+v, want %+v", n, best, want)
+		}
+	}
+}
+
+func TestBcastReachesAllRanks(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 64} {
+		w := NewWorld(n, params())
+		var count atomic.Int64
+		err := w.Run(func(r *Rank) error {
+			var v any
+			if r.ID() == 0 {
+				v = "payload"
+			}
+			got := r.Bcast(v, 7)
+			if got == "payload" {
+				count.Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(count.Load()) != n {
+			t.Fatalf("n=%d: %d ranks got the broadcast", n, count.Load())
+		}
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	const n = 13
+	w := NewWorld(n, params())
+	var count atomic.Int64
+	err := w.Run(func(r *Rank) error {
+		sum := r.AllReduce(r.ID(), 8, func(a, b any) any { return a.(int) + b.(int) })
+		if sum == n*(n-1)/2 {
+			count.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(count.Load()) != n {
+		t.Fatalf("%d ranks saw the correct all-reduce", count.Load())
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 9
+	w := NewWorld(n, params())
+	err := w.Run(func(r *Rank) error {
+		got := r.Gather(r.ID()*10, 8)
+		if r.ID() == 0 {
+			for i, v := range got {
+				if v != i*10 {
+					t.Errorf("gathered[%d] = %v", i, v)
+				}
+			}
+		} else if got != nil {
+			t.Errorf("non-root rank got a gather result")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	// After a barrier, no rank's clock may be earlier than the slowest
+	// rank's pre-barrier compute.
+	const n = 6
+	w := NewWorld(n, params())
+	err := w.Run(func(r *Rank) error {
+		r.Compute(float64(r.ID()) * 100)
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < n; rank++ {
+		if w.Clock(rank) < 500 {
+			t.Fatalf("rank %d clock %g < slowest compute 500", rank, w.Clock(rank))
+		}
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	run := func() []float64 {
+		w := NewWorld(16, params())
+		if err := w.Run(func(r *Rank) error {
+			r.Compute(float64(r.ID()))
+			r.AllReduce(r.ID(), 20, func(a, b any) any {
+				if a.(int) > b.(int) {
+					return a
+				}
+				return b
+			})
+			r.Barrier()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 16)
+		for i := range out {
+			out[i] = w.Clock(i)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("virtual time not deterministic at rank %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRankErrorPropagates(t *testing.T) {
+	w := NewWorld(2, params())
+	err := w.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			panic("boom")
+		}
+		r.Send(1, nil, 0)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking rank")
+	}
+}
+
+func TestInvalidOperationsPanic(t *testing.T) {
+	w := NewWorld(2, params())
+	cases := []func(r *Rank){
+		func(r *Rank) { r.Send(5, nil, 0) },
+		func(r *Rank) { r.Send(r.ID(), nil, 0) },
+		func(r *Rank) { r.Recv(-1) },
+		func(r *Rank) { r.Compute(-1) },
+	}
+	for i, fn := range cases {
+		err := w.Run(func(r *Rank) error {
+			if r.ID() == 0 {
+				fn(r)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+		w = NewWorld(2, params())
+	}
+}
+
+func TestNewWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0, params())
+}
+
+func TestThousandRankReduce(t *testing.T) {
+	// Paper scale: 1000 ranks reducing a 20-byte record to rank 0.
+	const n = 1000
+	w := NewWorld(n, Summit())
+	err := w.Run(func(r *Rank) error {
+		r.Compute(1.0)
+		r.Reduce(reduce.NewCombo(float64(r.ID()), r.ID()+1, r.ID()+2),
+			reduce.BytesPerRecord,
+			func(a, b any) any {
+				ca, cb := a.(reduce.Combo), b.(reduce.Combo)
+				if cb.Better(ca) {
+					return cb
+				}
+				return ca
+			})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 10-deep binomial tree over 20-byte messages costs microseconds;
+	// total time should be utterly dominated by the 1 s compute.
+	if mc := w.MaxClock(); mc < 1.0 || mc > 1.001 {
+		t.Fatalf("max clock = %g, want ≈1.0 (comm hidden)", mc)
+	}
+}
+
+func TestRankFailureDoesNotDeadlockCollectives(t *testing.T) {
+	// Rank 3 dies before joining the barrier; every other rank is blocked
+	// inside the collective. Run must return an error rather than hang.
+	const n = 8
+	w := NewWorld(n, params())
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(r *Rank) error {
+			if r.ID() == 3 {
+				return fmt.Errorf("injected failure")
+			}
+			r.Barrier()
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error from the failed rank")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("world deadlocked on a dead rank")
+	}
+}
+
+func TestRankPanicReleasesBlockedSenders(t *testing.T) {
+	// Rank 1 panics without ever receiving; rank 0 is blocked sending into
+	// a full inbox... or waiting in Recv. Either way Run must return.
+	w := NewWorld(2, params())
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(r *Rank) error {
+			if r.ID() == 1 {
+				panic("boom")
+			}
+			r.Recv(1) // never satisfied
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("world deadlocked after a rank panic")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const n = 7
+	w := NewWorld(n, params())
+	var count atomic.Int64
+	err := w.Run(func(r *Rank) error {
+		var values []any
+		if r.ID() == 0 {
+			for i := 0; i < n; i++ {
+				values = append(values, i*100)
+			}
+		}
+		mine := r.Scatter(values, 8)
+		if mine == r.ID()*100 {
+			count.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(count.Load()) != n {
+		t.Fatalf("%d ranks got their scatter element", count.Load())
+	}
+}
+
+func TestScatterWrongLengthPanicsToError(t *testing.T) {
+	w := NewWorld(3, params())
+	err := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Scatter([]any{1}, 8) // wrong length
+		} else {
+			r.Recv(0)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	const n = 6
+	w := NewWorld(n, params())
+	var good atomic.Int64
+	err := w.Run(func(r *Rank) error {
+		all := r.AllGather(r.ID()*10, 8)
+		ok := len(all) == n
+		for i := 0; ok && i < n; i++ {
+			ok = all[i] == i*10
+		}
+		if ok {
+			good.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(good.Load()) != n {
+		t.Fatalf("%d ranks saw the full gather", good.Load())
+	}
+}

@@ -1,0 +1,190 @@
+// Package report renders the reproduction's tables and series as aligned
+// plain text, the form in which cmd/benchreport regenerates every figure
+// and table of the paper for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; it panics if the cell count does not match the header.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns",
+			len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted values: each value is rendered with %v
+// for strings/ints and %.4g for floats.
+func (t *Table) Addf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Add(cells...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" " + c + " |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a titled (x, y) sequence rendered as rows plus a sparkline.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+}
+
+// String renders up to 40 evenly sampled points and a sparkline overview.
+func (s Series) String() string {
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", s.Title)
+	}
+	fmt.Fprintf(&b, "%s vs %s (%d points)\n", s.YLabel, s.XLabel, len(s.Y))
+	if len(s.Y) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "spark: %s\n", Sparkline(s.Y, 60))
+	n := len(s.Y)
+	step := 1
+	if n > 40 {
+		step = (n + 39) / 40
+	}
+	for i := 0; i < n; i += step {
+		x := float64(i)
+		if i < len(s.X) {
+			x = s.X[i]
+		}
+		fmt.Fprintf(&b, "  %-12.6g %.6g\n", x, s.Y[i])
+	}
+	return b.String()
+}
+
+// Sparkline renders values as a fixed-width unicode mini-chart.
+func Sparkline(ys []float64, width int) string {
+	if len(ys) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	min, max := ys[0], ys[0]
+	for _, y := range ys {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	if width > len(ys) {
+		width = len(ys)
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		// Sample the bucket's mean.
+		lo := i * len(ys) / width
+		hi := (i + 1) * len(ys) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, y := range ys[lo:hi] {
+			sum += y
+		}
+		v := sum / float64(hi-lo)
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Scaling", "nodes", "runtime", "efficiency")
+	tb.Add("100", "10254.7", "1.000")
+	tb.Add("1000", "1211.7", "0.846")
+	out := tb.String()
+	if !strings.Contains(out, "== Scaling ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "0.846") {
+		t.Errorf("table content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the first column width.
+	if !strings.HasPrefix(lines[3], "100 ") {
+		t.Errorf("row not aligned: %q", lines[3])
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.Add("only-one")
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("x", "a", "b", "c")
+	tb.Addf("s", 42, 0.123456)
+	if tb.Rows[0][2] != "0.1235" {
+		t.Fatalf("Addf float formatting = %q", tb.Rows[0][2])
+	}
+	if tb.Rows[0][1] != "42" {
+		t.Fatalf("Addf int formatting = %q", tb.Rows[0][1])
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := Series{
+		Title:  "Workload",
+		XLabel: "thread",
+		YLabel: "combinations",
+		X:      []float64{0, 1, 2, 3},
+		Y:      []float64{10, 7, 4, 1},
+	}
+	out := s.String()
+	if !strings.Contains(out, "Workload") || !strings.Contains(out, "spark:") {
+		t.Errorf("series output missing pieces:\n%s", out)
+	}
+	empty := Series{YLabel: "y", XLabel: "x"}
+	if out := empty.String(); !strings.Contains(out, "(0 points)") {
+		t.Errorf("empty series output:\n%s", out)
+	}
+}
+
+func TestSeriesSamplesLongInput(t *testing.T) {
+	ys := make([]float64, 1000)
+	for i := range ys {
+		ys[i] = float64(i)
+	}
+	s := Series{Y: ys, XLabel: "i", YLabel: "v"}
+	lines := strings.Count(s.String(), "\n")
+	if lines > 50 {
+		t.Fatalf("long series rendered %d lines — should sample", lines)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", got)
+	}
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	if flat != "▁▁▁" {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+	// Width larger than data clamps.
+	if got := Sparkline([]float64{1, 2}, 100); len([]rune(got)) != 2 {
+		t.Errorf("clamped sparkline = %q", got)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := NewTable("Scaling", "nodes", "eff")
+	tb.Add("100", "1.0")
+	out := tb.Markdown()
+	if !strings.Contains(out, "**Scaling**") {
+		t.Error("missing bold title")
+	}
+	if !strings.Contains(out, "| nodes | eff |") || !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("markdown structure wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| 100 | 1.0 |") {
+		t.Errorf("row missing:\n%s", out)
+	}
+}

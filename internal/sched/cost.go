@@ -1,0 +1,146 @@
+package sched
+
+import "fmt"
+
+// CostModel prices one thread's execution given its inner-loop work. The
+// plain equi-area scheduler implicitly uses cost(w) = w; a latency-aware
+// model adds the span-dependent memory penalty, implementing the paper's
+// fourth future-work strategy ("Incorporate memory latency into the
+// scheduling algorithm", Sec. V): threads with large spans cost more per
+// combination, so a latency-aware split hands them proportionally less
+// work.
+type CostModel func(work uint64) float64
+
+// UnitCost prices a thread at exactly its work — equivalent to EquiArea.
+func UnitCost(work uint64) float64 { return float64(work) }
+
+// EquiCost splits the curve's thread domain into p ranges of (nearly)
+// equal total modeled cost. Like EquiArea it exploits the level structure:
+// per-level cost is count × cost(work), so boundaries are found without a
+// per-thread scan.
+func EquiCost(c Curve, p int, cost CostModel) []Partition {
+	if p <= 0 {
+		panic("sched: partition count must be positive")
+	}
+	if cost == nil {
+		panic("sched: nil cost model")
+	}
+	lv, ok := c.(*levels)
+	if !ok {
+		panic(fmt.Sprintf("sched: EquiCost requires a level-table curve, got %T", c))
+	}
+	// Float cumulative cost per level boundary.
+	cum := make([]float64, len(lv.work)+1)
+	for l, w := range lv.work {
+		cum[l+1] = cum[l] + float64(lv.start[l+1]-lv.start[l])*cost(w)
+	}
+	total := cum[len(cum)-1]
+
+	parts := make([]Partition, p)
+	var lo uint64
+	for i := 0; i < p; i++ {
+		var hi uint64
+		if i == p-1 {
+			hi = lv.Threads()
+		} else {
+			target := total * float64(i+1) / float64(p)
+			hi = findCostPrefix(lv, cum, cost, target)
+			if hi < lo {
+				hi = lo
+			}
+		}
+		parts[i] = Partition{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return parts
+}
+
+// findCostPrefix returns the smallest λ whose cost prefix reaches target.
+func findCostPrefix(lv *levels, cum []float64, cost CostModel, target float64) uint64 {
+	if target <= 0 {
+		return 0
+	}
+	if target >= cum[len(cum)-1] {
+		return lv.Threads()
+	}
+	// Binary search the level containing the target.
+	lo, hi := 0, len(lv.work)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid+1] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	perThread := cost(lv.work[lo])
+	if perThread <= 0 {
+		return lv.start[lo+1]
+	}
+	need := target - cum[lo]
+	n := uint64(need / perThread)
+	if float64(n)*perThread < need {
+		n++
+	}
+	lambda := lv.start[lo] + n
+	if lambda > lv.start[lo+1] {
+		lambda = lv.start[lo+1]
+	}
+	return lambda
+}
+
+// AnalyzeCost computes per-partition modeled cost and its balance.
+func AnalyzeCost(c Curve, parts []Partition, cost CostModel) Stats {
+	lv, ok := c.(*levels)
+	if !ok {
+		panic(fmt.Sprintf("sched: AnalyzeCost requires a level-table curve, got %T", c))
+	}
+	s := Stats{Min: ^uint64(0)}
+	var totals []float64
+	grand := 0.0
+	for _, p := range parts {
+		totals = append(totals, costOfRange(lv, p, cost))
+		grand += totals[len(totals)-1]
+	}
+	// Reuse Stats with costs rounded to integers for reporting; Imbalance
+	// is computed on the float values.
+	maxC, minC := 0.0, -1.0
+	for _, t := range totals {
+		s.PerPart = append(s.PerPart, uint64(t+0.5))
+		if t > maxC {
+			maxC = t
+		}
+		if minC < 0 || t < minC {
+			minC = t
+		}
+	}
+	s.Max = uint64(maxC + 0.5)
+	s.Min = uint64(minC + 0.5)
+	if len(parts) > 0 {
+		s.Mean = grand / float64(len(parts))
+	}
+	if s.Mean > 0 {
+		s.Imbalance = maxC/s.Mean - 1
+	}
+	return s
+}
+
+// costOfRange sums cost over the threads of a partition using the level
+// table.
+func costOfRange(lv *levels, p Partition, cost CostModel) float64 {
+	total := 0.0
+	for l := 0; l < len(lv.work); l++ {
+		lo, hi := lv.start[l], lv.start[l+1]
+		if hi <= p.Lo || lo >= p.Hi {
+			continue
+		}
+		if lo < p.Lo {
+			lo = p.Lo
+		}
+		if hi > p.Hi {
+			hi = p.Hi
+		}
+		total += float64(hi-lo) * cost(lv.work[l])
+	}
+	return total
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEquiCostUnitMatchesEquiArea(t *testing.T) {
+	// With the unit cost model, EquiCost must reduce to EquiArea.
+	for _, g := range []uint64{10, 50, 200} {
+		for _, p := range []int{3, 7, 30} {
+			c := NewTetra3x1(g)
+			ea := EquiArea(c, p)
+			ec := EquiCost(c, p, UnitCost)
+			for i := range ea {
+				// Boundaries may differ by the float-vs-integer target
+				// rounding, but at most by one thread of one level.
+				diff := int64(ea[i].Hi) - int64(ec[i].Hi)
+				if diff < -1 || diff > 1 {
+					t.Fatalf("G=%d P=%d part %d: EA %+v vs EquiCost %+v",
+						g, p, i, ea[i], ec[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEquiCostTiles(t *testing.T) {
+	cost := func(w uint64) float64 {
+		return float64(w) * (1 + math.Log1p(float64(w)))
+	}
+	for _, c := range []Curve{NewTetra3x1(60), NewTri2x2(60), NewLin1x3(60)} {
+		for _, p := range []int{1, 2, 13, 100} {
+			parts := EquiCost(c, p, cost)
+			if len(parts) != p {
+				t.Fatalf("%s: %d parts, want %d", c.Name(), len(parts), p)
+			}
+			if err := Validate(c, parts); err != nil {
+				t.Fatalf("%s P=%d: %v", c.Name(), p, err)
+			}
+		}
+	}
+}
+
+func TestEquiCostBalancesCostNotWork(t *testing.T) {
+	// Under a superlinear cost model, EquiCost must balance cost strictly
+	// better than EquiArea does, by giving high-cost (large-span) threads
+	// less raw work.
+	c := NewTri2x2(200)
+	cost := func(w uint64) float64 {
+		return float64(w) * (1 + 2*math.Log1p(float64(w))/math.Log1p(19700))
+	}
+	const p = 24
+	ea := AnalyzeCost(c, EquiArea(c, p), cost)
+	ec := AnalyzeCost(c, EquiCost(c, p, cost), cost)
+	if ec.Imbalance >= ea.Imbalance {
+		t.Fatalf("EquiCost imbalance %.4f not better than EquiArea %.4f",
+			ec.Imbalance, ea.Imbalance)
+	}
+	if ec.Imbalance > 0.05 {
+		t.Fatalf("EquiCost imbalance %.4f too high", ec.Imbalance)
+	}
+	// And the work split now deliberately deviates from equality.
+	workStats := Analyze(c, EquiCost(c, p, cost))
+	if workStats.Imbalance < 0.01 {
+		t.Fatalf("cost-aware split should trade work balance for cost balance, work imbalance %.4f",
+			workStats.Imbalance)
+	}
+}
+
+func TestEquiCostPanics(t *testing.T) {
+	c := NewTetra3x1(10)
+	for i, fn := range []func(){
+		func() { EquiCost(c, 0, UnitCost) },
+		func() { EquiCost(c, 3, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAnalyzeCostConservation(t *testing.T) {
+	c := NewTetra3x1(40)
+	cost := func(w uint64) float64 { return float64(w) + 1 }
+	parts := EquiCost(c, 9, cost)
+	s := AnalyzeCost(c, parts, cost)
+	var sum float64
+	for _, v := range s.PerPart {
+		sum += float64(v)
+	}
+	// Total cost = Σ threads-per-level × (w+1) = TotalWork + Threads.
+	want := float64(c.TotalWork() + c.Threads())
+	if math.Abs(sum-want) > float64(len(parts)) {
+		t.Fatalf("cost sums to %.0f, want ≈%.0f", sum, want)
+	}
+}

@@ -1,0 +1,35 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Equi-area scheduling gives every GPU (nearly) the same number of
+// combinations even though per-thread workloads differ by orders of
+// magnitude.
+func ExampleEquiArea() {
+	curve := sched.NewTetra3x1(50) // the paper's Fig. 3 example, G = 50
+	parts := sched.EquiArea(curve, 5)
+	for i, p := range parts {
+		work := curve.PrefixWork(p.Hi) - curve.PrefixWork(p.Lo)
+		fmt.Printf("gpu %d: %5d threads, %d combinations\n", i, p.Size(), work)
+	}
+	// Output:
+	// gpu 0:  1384 threads, 46067 combinations
+	// gpu 1:  1873 threads, 46062 combinations
+	// gpu 2:  2481 threads, 46055 combinations
+	// gpu 3:  3547 threads, 46056 combinations
+	// gpu 4: 10315 threads, 46060 combinations
+}
+
+// Equi-distance partitioning leaves the first GPU with multiples of the
+// average work — the Fig. 3(a) imbalance.
+func ExampleEquiDistance() {
+	curve := sched.NewTetra3x1(50)
+	stats := sched.Analyze(curve, sched.EquiDistance(curve, 5))
+	fmt.Printf("max/mean imbalance: %.2f\n", stats.Imbalance)
+	// Output:
+	// max/mean imbalance: 1.30
+}

@@ -1,0 +1,329 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/combinat"
+)
+
+// brute sums WorkAt over [0, λ) one thread at a time.
+func brute(c Curve, lambda uint64) uint64 {
+	var sum uint64
+	for l := uint64(0); l < lambda; l++ {
+		sum += c.WorkAt(l)
+	}
+	return sum
+}
+
+func TestTetra3x1Totals(t *testing.T) {
+	for _, g := range []uint64{4, 5, 10, 50, 200} {
+		c := NewTetra3x1(g)
+		if c.Threads() != combinat.TripleCount(g) {
+			t.Fatalf("G=%d: threads = %d, want C(G,3)=%d", g, c.Threads(), combinat.TripleCount(g))
+		}
+		if c.TotalWork() != combinat.QuadCount(g) {
+			t.Fatalf("G=%d: total work = %d, want C(G,4)=%d", g, c.TotalWork(), combinat.QuadCount(g))
+		}
+	}
+}
+
+func TestTri2x2Totals(t *testing.T) {
+	for _, g := range []uint64{4, 5, 10, 50, 200} {
+		c := NewTri2x2(g)
+		if c.Threads() != combinat.PairCount(g) {
+			t.Fatalf("G=%d: threads = %d, want C(G,2)", g, c.Threads())
+		}
+		if c.TotalWork() != combinat.QuadCount(g) {
+			t.Fatalf("G=%d: total work = %d, want C(G,4)=%d", g, c.TotalWork(), combinat.QuadCount(g))
+		}
+	}
+}
+
+func TestTri2x1Totals(t *testing.T) {
+	for _, g := range []uint64{3, 5, 10, 100} {
+		c := NewTri2x1(g)
+		if c.Threads() != combinat.PairCount(g) {
+			t.Fatalf("G=%d: threads mismatch", g)
+		}
+		want := combinat.TripleCount(g)
+		if c.TotalWork() != want {
+			t.Fatalf("G=%d: total work = %d, want C(G,3)=%d", g, c.TotalWork(), want)
+		}
+	}
+}
+
+func TestWorkAtMatchesSemantics(t *testing.T) {
+	// 3x1: thread (i,j,k) does G−1−k combinations.
+	const g = 23
+	c := NewTetra3x1(g)
+	for lambda := uint64(0); lambda < c.Threads(); lambda++ {
+		_, _, k := combinat.LinearToTriple(lambda)
+		if got, want := c.WorkAt(lambda), uint64(g-1)-k; got != want {
+			t.Fatalf("3x1 WorkAt(%d) = %d, want %d (k=%d)", lambda, got, want, k)
+		}
+	}
+	// 2x2: thread (i,j) does C(G−1−j, 2) combinations.
+	c2 := NewTri2x2(g)
+	for lambda := uint64(0); lambda < c2.Threads(); lambda++ {
+		_, j := combinat.LinearToPair(lambda)
+		if got, want := c2.WorkAt(lambda), combinat.Tri(g-1-j); got != want {
+			t.Fatalf("2x2 WorkAt(%d) = %d, want %d (j=%d)", lambda, got, want, j)
+		}
+	}
+}
+
+func TestWorkNonIncreasing(t *testing.T) {
+	for _, c := range []Curve{NewTetra3x1(30), NewTri2x2(30), NewTri2x1(30), NewFlat(100)} {
+		prev := ^uint64(0)
+		for lambda := uint64(0); lambda < c.Threads(); lambda++ {
+			w := c.WorkAt(lambda)
+			if w > prev {
+				t.Fatalf("%s: work increases at λ=%d", c.Name(), lambda)
+			}
+			prev = w
+		}
+	}
+}
+
+func TestPrefixWorkMatchesBrute(t *testing.T) {
+	for _, c := range []Curve{NewTetra3x1(18), NewTri2x2(18), NewTri2x1(18), NewFlat(37)} {
+		for lambda := uint64(0); lambda <= c.Threads(); lambda++ {
+			if got, want := c.PrefixWork(lambda), brute(c, lambda); got != want {
+				t.Fatalf("%s: PrefixWork(%d) = %d, want %d", c.Name(), lambda, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixWorkProperty(t *testing.T) {
+	c := NewTetra3x1(19411) // paper scale: must stay O(log G), exact
+	f := func(raw uint64) bool {
+		lambda := raw % (c.Threads() + 1)
+		p := c.PrefixWork(lambda)
+		if lambda == c.Threads() {
+			return p == c.TotalWork()
+		}
+		// Prefix plus this thread's work equals the next prefix.
+		return p+c.WorkAt(lambda) == c.PrefixWork(lambda+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquiDistanceTiles(t *testing.T) {
+	c := NewTetra3x1(50)
+	for _, p := range []int{1, 2, 7, 30, 100} {
+		parts := EquiDistance(c, p)
+		if len(parts) != p {
+			t.Fatalf("ED gave %d parts, want %d", len(parts), p)
+		}
+		if err := Validate(c, parts); err != nil {
+			t.Fatalf("ED(%d): %v", p, err)
+		}
+	}
+}
+
+func TestEquiAreaTiles(t *testing.T) {
+	for _, c := range []Curve{NewTetra3x1(50), NewTri2x2(50), NewTri2x1(50), NewFlat(1000)} {
+		for _, p := range []int{1, 2, 7, 30, 100} {
+			parts := EquiArea(c, p)
+			if len(parts) != p {
+				t.Fatalf("%s EA gave %d parts, want %d", c.Name(), len(parts), p)
+			}
+			if err := Validate(c, parts); err != nil {
+				t.Fatalf("%s EA(%d): %v", c.Name(), p, err)
+			}
+		}
+	}
+}
+
+func TestEquiAreaMatchesNaive(t *testing.T) {
+	// The O(G) level-table scheduler must place boundaries where the naive
+	// per-thread scan places them.
+	for _, g := range []uint64{10, 17, 50} {
+		for _, p := range []int{2, 5, 30} {
+			c := NewTetra3x1(g)
+			fast := EquiArea(c, p)
+			slow := NaiveEquiArea(c, p)
+			for i := range fast {
+				if fast[i] != slow[i] {
+					t.Fatalf("G=%d P=%d part %d: fast %+v != naive %+v",
+						g, p, i, fast[i], slow[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEquiAreaBeatsEquiDistance(t *testing.T) {
+	// Fig. 3: for the paper's example (G=50, 30 GPUs) the EA imbalance must
+	// be dramatically lower than ED's.
+	c := NewTetra3x1(50)
+	ed := Analyze(c, EquiDistance(c, 30))
+	ea := Analyze(c, EquiArea(c, 30))
+	if ea.Imbalance > 0.5 {
+		t.Fatalf("EA imbalance %.3f — should be near zero", ea.Imbalance)
+	}
+	if ed.Imbalance < 2*ea.Imbalance+0.5 {
+		t.Fatalf("ED imbalance %.3f not clearly worse than EA %.3f", ed.Imbalance, ea.Imbalance)
+	}
+}
+
+func TestEquiAreaPaperScale(t *testing.T) {
+	// G = 19411, 6000 GPUs (1000 Summit nodes): the schedule must compute
+	// fast (this whole test runs in well under a second) and balance to
+	// within a fraction of a percent.
+	c := NewTetra3x1(19411)
+	parts := EquiArea(c, 6000)
+	if err := Validate(c, parts); err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(c, parts)
+	if s.Imbalance > 0.01 {
+		t.Fatalf("paper-scale EA imbalance %.5f > 1%%", s.Imbalance)
+	}
+}
+
+func TestAnalyzeConservation(t *testing.T) {
+	c := NewTri2x2(40)
+	for _, parts := range [][]Partition{EquiDistance(c, 13), EquiArea(c, 13)} {
+		s := Analyze(c, parts)
+		var sum uint64
+		for _, w := range s.PerPart {
+			sum += w
+		}
+		if sum != c.TotalWork() {
+			t.Fatalf("partition work sums to %d, want %d", sum, c.TotalWork())
+		}
+	}
+}
+
+func TestValidateCatchesGapsAndOverlaps(t *testing.T) {
+	c := NewFlat(100)
+	bad := [][]Partition{
+		{},
+		{{Lo: 0, Hi: 50}},                    // incomplete
+		{{Lo: 0, Hi: 60}, {Lo: 50, Hi: 100}}, // overlap
+		{{Lo: 0, Hi: 40}, {Lo: 50, Hi: 100}}, // gap
+		{{Lo: 10, Hi: 100}},                  // late start
+	}
+	for i, parts := range bad {
+		if Validate(c, parts) == nil {
+			t.Errorf("case %d: Validate accepted a malformed partitioning", i)
+		}
+	}
+	if err := Validate(c, []Partition{{0, 100}}); err != nil {
+		t.Errorf("Validate rejected a correct partitioning: %v", err)
+	}
+}
+
+func TestMorePartsThanThreads(t *testing.T) {
+	c := NewFlat(3)
+	parts := EquiArea(c, 10)
+	if err := Validate(c, parts); err != nil {
+		t.Fatal(err)
+	}
+	parts = EquiDistance(c, 10)
+	if err := Validate(c, parts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurvePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewTetra3x1(3) },
+		func() { NewTri2x2(2) },
+		func() { NewTri2x1(2) },
+		func() { EquiArea(NewFlat(5), 0) },
+		func() { EquiDistance(NewFlat(5), -1) },
+		func() { NewFlat(5).WorkAt(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkEquiAreaPaperScale(b *testing.B) {
+	// E14: schedule computation cost at G = 19411, 6000 GPUs.
+	for n := 0; n < b.N; n++ {
+		c := NewTetra3x1(19411)
+		parts := EquiArea(c, 6000)
+		if len(parts) != 6000 {
+			b.Fatal("bad partition count")
+		}
+	}
+}
+
+func BenchmarkNaiveEquiAreaSmall(b *testing.B) {
+	// The naive scheduler is O(C(G,3)) — even G=300 shows the gap.
+	c := NewTetra3x1(300)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		NaiveEquiArea(c, 30)
+	}
+}
+
+func TestLin1x3Curve(t *testing.T) {
+	for _, g := range []uint64{4, 10, 50} {
+		c := NewLin1x3(g)
+		if c.Threads() != g {
+			t.Fatalf("G=%d: 1x3 must expose exactly G threads, got %d", g, c.Threads())
+		}
+		if c.TotalWork() != combinat.QuadCount(g) {
+			t.Fatalf("G=%d: total work = %d, want C(G,4)", g, c.TotalWork())
+		}
+		// Thread i does C(G-1-i, 3) combinations.
+		for i := uint64(0); i < g; i++ {
+			if got, want := c.WorkAt(i), combinat.Tet(g-1-i); got != want {
+				t.Fatalf("G=%d: WorkAt(%d) = %d, want %d", g, i, got, want)
+			}
+		}
+	}
+}
+
+func TestLin1x3PrefixMatchesBrute(t *testing.T) {
+	c := NewLin1x3(17)
+	for lambda := uint64(0); lambda <= c.Threads(); lambda++ {
+		if got, want := c.PrefixWork(lambda), brute(c, lambda); got != want {
+			t.Fatalf("PrefixWork(%d) = %d, want %d", lambda, got, want)
+		}
+	}
+}
+
+func TestLin1x3Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLin1x3(3) did not panic")
+		}
+	}()
+	NewLin1x3(3)
+}
+
+func TestQuad4x1Curve(t *testing.T) {
+	for _, g := range []uint64{5, 12, 40} {
+		c := NewQuad4x1(g)
+		if c.Threads() != combinat.QuadCount(g) {
+			t.Fatalf("G=%d: threads = %d, want C(G,4)", g, c.Threads())
+		}
+		want := combinat.MustBinomial(g, 5)
+		if c.TotalWork() != want {
+			t.Fatalf("G=%d: total work = %d, want C(G,5)=%d", g, c.TotalWork(), want)
+		}
+	}
+	// Thread (i,j,k,l) does g−1−l iterations.
+	c := NewQuad4x1(12)
+	for lambda := uint64(0); lambda < c.Threads(); lambda++ {
+		_, _, _, l := combinat.LinearToQuad(lambda)
+		if got, want := c.WorkAt(lambda), uint64(11)-l; got != want {
+			t.Fatalf("WorkAt(%d) = %d, want %d", lambda, got, want)
+		}
+	}
+}

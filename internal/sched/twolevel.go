@@ -1,0 +1,101 @@
+package sched
+
+import "fmt"
+
+// TwoLevel partitions the thread domain hierarchically, matching Fig. 1's
+// Summit abstraction: the equi-area scheduler first cuts the λ-domain
+// across MPI ranks (nodes), then cuts each rank's share across its GPUs.
+// The result tiles the domain exactly like a flat cut across
+// nodes×gpusPerNode devices; the hierarchy exists so each rank can compute
+// only its own sub-schedule — on the real machine rank r never needs the
+// other ranks' GPU boundaries.
+type TwoLevel struct {
+	// Nodes is the rank-level partitioning.
+	Nodes []Partition
+	// PerNode holds each rank's GPU-level partitioning of its range.
+	PerNode [][]Partition
+}
+
+// NewTwoLevel builds the hierarchical equi-area schedule.
+func NewTwoLevel(c Curve, nodes, gpusPerNode int) TwoLevel {
+	if nodes <= 0 || gpusPerNode <= 0 {
+		panic(fmt.Sprintf("sched: TwoLevel needs positive counts, got %d×%d", nodes, gpusPerNode))
+	}
+	tl := TwoLevel{Nodes: EquiArea(c, nodes)}
+	for _, np := range tl.Nodes {
+		tl.PerNode = append(tl.PerNode, equiAreaWithin(c, np, gpusPerNode))
+	}
+	return tl
+}
+
+// equiAreaWithin splits one partition's range into p equal-work pieces.
+func equiAreaWithin(c Curve, span Partition, p int) []Partition {
+	lv, ok := c.(*levels)
+	if !ok {
+		panic(fmt.Sprintf("sched: TwoLevel requires a level-table curve, got %T", c))
+	}
+	base := lv.PrefixWork(span.Lo)
+	total := lv.PrefixWork(span.Hi) - base
+	parts := make([]Partition, p)
+	lo := span.Lo
+	for i := 0; i < p; i++ {
+		var hi uint64
+		if i == p-1 {
+			hi = span.Hi
+		} else {
+			target := base + total/uint64(p)*uint64(i+1)
+			if r := total % uint64(p); r > 0 {
+				target += r * uint64(i+1) / uint64(p)
+			}
+			hi = lv.findPrefix(target)
+			if hi < lo {
+				hi = lo
+			}
+			if hi > span.Hi {
+				hi = span.Hi
+			}
+		}
+		parts[i] = Partition{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return parts
+}
+
+// Flatten returns the GPU-level partitions in global device order.
+func (tl TwoLevel) Flatten() []Partition {
+	var out []Partition
+	for _, gp := range tl.PerNode {
+		out = append(out, gp...)
+	}
+	return out
+}
+
+// Validate checks that the hierarchy tiles the domain exactly at both
+// levels.
+func (tl TwoLevel) Validate(c Curve) error {
+	if err := Validate(c, tl.Nodes); err != nil {
+		return fmt.Errorf("sched: node level: %w", err)
+	}
+	if len(tl.PerNode) != len(tl.Nodes) {
+		return fmt.Errorf("sched: %d per-node schedules for %d nodes",
+			len(tl.PerNode), len(tl.Nodes))
+	}
+	for n, gp := range tl.PerNode {
+		expect := tl.Nodes[n].Lo
+		for g, p := range gp {
+			if p.Lo != expect {
+				return fmt.Errorf("sched: node %d gpu %d starts at %d, want %d",
+					n, g, p.Lo, expect)
+			}
+			if p.Hi < p.Lo {
+				return fmt.Errorf("sched: node %d gpu %d inverted", n, g)
+			}
+			expect = p.Hi
+		}
+		if expect != tl.Nodes[n].Hi {
+			return fmt.Errorf("sched: node %d GPUs end at %d, range ends at %d",
+				n, expect, tl.Nodes[n].Hi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/combinat"
+)
+
+func TestTwoLevelTilesBothLevels(t *testing.T) {
+	for _, g := range []uint64{20, 50, 200} {
+		c := NewTetra3x1(g)
+		tl := NewTwoLevel(c, 5, 6)
+		if err := tl.Validate(c); err != nil {
+			t.Fatalf("G=%d: %v", g, err)
+		}
+		flat := tl.Flatten()
+		if len(flat) != 30 {
+			t.Fatalf("G=%d: flattened to %d devices, want 30", g, len(flat))
+		}
+		if err := Validate(c, flat); err != nil {
+			t.Fatalf("G=%d flat: %v", g, err)
+		}
+	}
+}
+
+func TestTwoLevelBalancesLikeFlat(t *testing.T) {
+	// The hierarchical cut's device-level balance should be comparable to
+	// a flat equi-area cut over the same device count.
+	c := NewTetra3x1(19411)
+	tl := NewTwoLevel(c, 100, 6)
+	flat := Analyze(c, EquiArea(c, 600))
+	hier := Analyze(c, tl.Flatten())
+	if hier.Imbalance > 5*flat.Imbalance+0.01 {
+		t.Fatalf("hierarchical imbalance %.5f vs flat %.5f", hier.Imbalance, flat.Imbalance)
+	}
+	// Node level is exactly equi-area.
+	nodeStats := Analyze(c, tl.Nodes)
+	if nodeStats.Imbalance > 0.01 {
+		t.Fatalf("node-level imbalance %.5f", nodeStats.Imbalance)
+	}
+	// Work conservation end to end.
+	var sum uint64
+	for _, w := range hier.PerPart {
+		sum += w
+	}
+	if sum != combinat.QuadCount(19411) {
+		t.Fatal("work lost in the hierarchy")
+	}
+}
+
+func TestTwoLevelPanics(t *testing.T) {
+	c := NewTetra3x1(10)
+	for i, fn := range []func(){
+		func() { NewTwoLevel(c, 0, 6) },
+		func() { NewTwoLevel(c, 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTwoLevelMoreDevicesThanThreads(t *testing.T) {
+	c := NewFlat(4)
+	tl := NewTwoLevel(c, 3, 2)
+	if err := tl.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: summary statistics, binomial confidence intervals for the
+// classifier's sensitivity/specificity error bars (Fig. 9), and the
+// correlation used to assert the utilization/DRAM-throughput relationship
+// of Fig. 6.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator), or 0 for
+// fewer than two values.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MinMax returns the extrema, or (0, 0) for an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Pearson returns the correlation coefficient of two equal-length series.
+// It panics on mismatched lengths and returns 0 when either series is
+// constant.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Interval is a proportion with its confidence bounds, all in [0, 1].
+type Interval struct {
+	Point             float64
+	Lo, Hi            float64
+	Level             float64 // e.g. 0.95
+	Successes, Trials int
+}
+
+// WilsonCI returns the Wilson score interval for k successes in n trials at
+// the 95% level — the error bars of Fig. 9. For n = 0 it returns the full
+// [0, 1] interval.
+func WilsonCI(k, n int) Interval {
+	if k < 0 || n < 0 || k > n {
+		panic(fmt.Sprintf("stats: WilsonCI(%d, %d) invalid", k, n))
+	}
+	iv := Interval{Level: 0.95, Successes: k, Trials: n}
+	if n == 0 {
+		iv.Hi = 1
+		return iv
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the standard normal
+	p := float64(k) / float64(n)
+	iv.Point = p
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	iv.Lo = math.Max(0, center-half)
+	iv.Hi = math.Min(1, center+half)
+	// Guard the floating-point edges at k = 0 and k = n, where the
+	// analytic bound coincides with the point estimate.
+	iv.Lo = math.Min(iv.Lo, p)
+	iv.Hi = math.Max(iv.Hi, p)
+	return iv
+}
+
+// Percent formats a proportion as a percentage string, e.g. "83.2%".
+func Percent(p float64) string { return fmt.Sprintf("%.1f%%", 100*p) }

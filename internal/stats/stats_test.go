@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-element stddev should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138089935) > 1e-8 {
+		t.Fatalf("StdDev = %g", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Fatal("empty MinMax should be (0,0)")
+	}
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%g, %g)", lo, hi)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %g", got)
+	}
+	yn := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yn); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %g", got)
+	}
+	if got := Pearson(x, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Fatalf("constant series correlation = %g", got)
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Fatal("empty correlation should be 0")
+	}
+}
+
+func TestPearsonPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestWilsonCIKnownValues(t *testing.T) {
+	// 83/100: interval ≈ [74.5%, 89.0%].
+	iv := WilsonCI(83, 100)
+	if math.Abs(iv.Point-0.83) > 1e-12 {
+		t.Fatalf("point = %g", iv.Point)
+	}
+	if math.Abs(iv.Lo-0.7449) > 0.005 || math.Abs(iv.Hi-0.8901) > 0.005 {
+		t.Fatalf("CI = [%.4f, %.4f], want ≈[0.745, 0.890]", iv.Lo, iv.Hi)
+	}
+	// Degenerate cases stay in [0, 1].
+	if iv := WilsonCI(0, 10); iv.Lo != 0 || iv.Hi <= 0 {
+		t.Fatalf("WilsonCI(0,10) = %+v", iv)
+	}
+	if iv := WilsonCI(10, 10); iv.Hi != 1 || iv.Lo >= 1 {
+		t.Fatalf("WilsonCI(10,10) = %+v", iv)
+	}
+	if iv := WilsonCI(0, 0); iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("WilsonCI(0,0) = %+v", iv)
+	}
+}
+
+func TestWilsonCIProperties(t *testing.T) {
+	f := func(rawK, rawN uint16) bool {
+		n := int(rawN%500) + 1
+		k := int(rawK) % (n + 1)
+		iv := WilsonCI(k, n)
+		return iv.Lo >= 0 && iv.Hi <= 1 && iv.Lo <= iv.Point && iv.Point <= iv.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonCIWidthShrinksWithN(t *testing.T) {
+	small := WilsonCI(8, 10)
+	large := WilsonCI(800, 1000)
+	if large.Hi-large.Lo >= small.Hi-small.Lo {
+		t.Fatal("CI width should shrink with sample size")
+	}
+}
+
+func TestWilsonCIPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	WilsonCI(5, 3)
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.832); got != "83.2%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}
