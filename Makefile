@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench reports examples clean
+.PHONY: all build vet lint test race bench reports examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Domain-aware static analysis (see docs/INVARIANTS.md).
+lint:
+	$(GO) run ./cmd/multihitvet ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cover/ ./internal/cluster/ ./internal/mpisim/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -48,12 +48,16 @@ func BenchmarkFig3Scheduling(b *testing.B) {
 	curve := sched.NewTetra3x1(50)
 	b.Run("ED/G=50", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sched.EquiDistance(curve, 30)
+			if _, err := sched.EquiDistance(curve, 30); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("EA/G=50", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sched.EquiArea(curve, 30)
+			if _, err := sched.EquiArea(curve, 30); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -238,7 +242,10 @@ func BenchmarkTetraMap(b *testing.B) {
 func BenchmarkScheduleCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		curve := sched.NewTetra3x1(19411)
-		parts := sched.EquiArea(curve, 6000)
+		parts, err := sched.EquiArea(curve, 6000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(parts) != 6000 {
 			b.Fatal("bad partition count")
 		}

@@ -95,8 +95,16 @@ func expEDvEA(config) (string, error) {
 
 	// Scheduler-level balance, independent of the device model.
 	curve := sched.NewTri2x2(19411)
-	edS := sched.Analyze(curve, sched.EquiDistance(curve, 600))
-	eaS := sched.Analyze(curve, sched.EquiArea(curve, 600))
+	edParts, err := sched.EquiDistance(curve, 600)
+	if err != nil {
+		return "", err
+	}
+	eaParts, err := sched.EquiArea(curve, 600)
+	if err != nil {
+		return "", err
+	}
+	edS := sched.Analyze(curve, edParts)
+	eaS := sched.Analyze(curve, eaParts)
 	fmt.Fprintf(&b, "work imbalance (max/mean - 1): ED %.2f, EA %.5f\n",
 		edS.Imbalance, eaS.Imbalance)
 	return b.String(), nil
@@ -156,13 +164,18 @@ func expSchedCost(config) (string, error) {
 
 	start := time.Now()
 	curve := sched.NewTetra3x1(19411)
-	parts := sched.EquiArea(curve, 6000)
+	parts, err := sched.EquiArea(curve, 6000)
+	if err != nil {
+		return "", err
+	}
 	elapsed := time.Since(start)
 	table.Addf(19411, 6000, "level-table (O(G+P log G))", elapsed.String(), len(parts))
 
 	start = time.Now()
 	small := sched.NewTetra3x1(300)
-	sched.NaiveEquiArea(small, 30)
+	if _, err := sched.NaiveEquiArea(small, 30); err != nil {
+		return "", err
+	}
 	elapsed = time.Since(start)
 	table.Addf(300, 30, "naive per-thread scan", elapsed.String(), small.Threads())
 

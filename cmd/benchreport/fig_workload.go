@@ -54,8 +54,14 @@ func expFig3(config) (string, error) {
 	table := report.NewTable(
 		fmt.Sprintf("Per-GPU workload, G=%d, %d GPUs (Fig. 3c)", g, gpus),
 		"gpu", "ED threads", "ED work", "EA threads", "EA work")
-	ed := sched.EquiDistance(curve, gpus)
-	ea := sched.EquiArea(curve, gpus)
+	ed, err := sched.EquiDistance(curve, gpus)
+	if err != nil {
+		return "", err
+	}
+	ea, err := sched.EquiArea(curve, gpus)
+	if err != nil {
+		return "", err
+	}
 	edStats := sched.Analyze(curve, ed)
 	eaStats := sched.Analyze(curve, ea)
 	for i := 0; i < gpus; i++ {

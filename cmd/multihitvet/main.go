@@ -1,0 +1,128 @@
+// Command multihitvet is the repository's domain-aware static-analysis
+// suite: a multichecker that enforces the engine's index, overflow, and
+// determinism invariants (see docs/INVARIANTS.md). It is wired into
+// `make lint` (and therefore `make all`), and exits non-zero on any
+// unsuppressed diagnostic so CI fails on a new violation.
+//
+// Usage:
+//
+//	go run ./cmd/multihitvet [-list] [patterns...]
+//
+// With no patterns (or "./...") every package in the module is checked.
+// Other patterns select packages whose import path, path relative to the
+// module root, or path tail matches.
+//
+// A finding is suppressed by a comment on the flagged line or the line
+// above:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/floatcompare"
+	"repro/internal/analysis/goroleak"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/overflowcheck"
+	"repro/internal/analysis/panicfree"
+	"repro/internal/analysis/wordwidth"
+)
+
+// analyzers is the registered suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	floatcompare.Analyzer,
+	goroleak.Analyzer,
+	overflowcheck.Analyzer,
+	panicfree.Analyzer,
+	wordwidth.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: multihitvet [-list] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := check(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "multihitvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "multihitvet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// check loads the selected packages and runs the suite over them.
+func check(patterns []string) ([]analysis.Diagnostic, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := load.FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+
+	selected := pkgs[:0]
+	for _, pkg := range pkgs {
+		if matches(loader.ModulePath(), pkg.Path, patterns) {
+			selected = append(selected, pkg)
+		}
+	}
+	return analysis.Run(loader.Fset, selected, analyzers)
+}
+
+// matches reports whether the import path is selected by the patterns. An
+// empty pattern list and "./..." select everything; "dir/..." selects a
+// subtree; otherwise a pattern must equal the import path, the path relative
+// to the module, or its tail.
+func matches(modPath, importPath string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, modPath), "/")
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "" {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == sub || strings.HasPrefix(rel, sub+"/") ||
+				importPath == sub || strings.HasPrefix(importPath, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if pat == importPath || pat == rel || pat == analysis.PathTail(importPath) {
+			return true
+		}
+	}
+	return false
+}

@@ -43,13 +43,18 @@ func main() {
 
 	start := time.Now()
 	var parts []sched.Partition
+	var err error
 	switch *scheduler {
 	case "EA":
-		parts = sched.EquiArea(curve, *gpus)
+		parts, err = sched.EquiArea(curve, *gpus)
 	case "ED":
-		parts = sched.EquiDistance(curve, *gpus)
+		parts, err = sched.EquiDistance(curve, *gpus)
 	default:
 		fmt.Fprintf(os.Stderr, "schedule: unknown scheduler %q\n", *scheduler)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedule:", err)
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)

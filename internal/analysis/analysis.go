@@ -1,0 +1,219 @@
+// Package analysis is a self-contained, standard-library-only counterpart of
+// golang.org/x/tools/go/analysis, hosting the multihitvet analyzers that
+// machine-check the engine's domain invariants:
+//
+//   - overflowcheck: the tetrahedral λ-maps are only exact while uint64
+//     arithmetic is overflow-checked, so the ok flag of combinat.Binomial-style
+//     APIs must not be discarded and λ-derived values must not be narrowed to
+//     int without a check.
+//   - wordwidth: bit-packed matrices assume 64 samples per word; packing
+//     arithmetic belongs inside internal/bitmat.
+//   - floatcompare: the maxF reduction is only deterministic across partition
+//     counts when every F comparison goes through the canonical tie-break.
+//   - goroleak: worker goroutines must signal completion on every return path.
+//   - panicfree: the long-running cluster path returns errors, it does not
+//     panic.
+//
+// The environment this repository builds in has no network access, so the
+// x/tools module cannot be fetched; the subset of its API the analyzers need
+// (Analyzer, Pass, diagnostics, an analysistest harness) is implemented here
+// instead, backed by the source loader in internal/analysis/load.
+//
+// Diagnostics are suppressed by a comment on the flagged line or the line
+// directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is free text and mandatory by convention: a suppression records
+// why an invariant assertion is intentional.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// An Analyzer is one named check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the check to one package, reporting findings via the pass.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file of the package.
+	Fset *token.FileSet
+	// Files are the package's parsed source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's tables for the files.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the diagnostics
+// that are not suppressed by //lint:allow comments, sorted by position.
+func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := suppressions(fset, pkg.Files)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range raw {
+			if !allowed[lineKey{d.Pos.Filename, d.Pos.Line}][d.Analyzer] {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// lineKey addresses one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// suppressions indexes the //lint:allow comments of a package: a comment on
+// line N suppresses the named analyzers on lines N and N+1, so both
+// same-line and line-above placements work.
+func suppressions(fset *token.FileSet, files []*ast.File) map[lineKey]map[string]bool {
+	out := make(map[lineKey]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := lineKey{pos.Filename, line}
+						if out[k] == nil {
+							out[k] = make(map[string]bool)
+						}
+						out[k][name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PathTail returns the last element of an import path: the conventional
+// package directory name the analyzers scope themselves by ("combinat",
+// "bitmat", "reduce", ...). Scoping by tail lets analysistest fixtures stand
+// in for the real packages.
+func PathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Callee resolves the function or method called by call, or nil for calls of
+// function values, conversions, and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsIntLiteral reports whether expr is the integer literal with the given
+// value.
+func IsIntLiteral(info *types.Info, expr ast.Expr, value int64) bool {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if lit, ok := ast.Unparen(expr).(*ast.BasicLit); !ok || lit.Kind != token.INT {
+		return false
+	}
+	v, exact := constantInt64(tv)
+	return exact && v == value
+}
+
+// constantInt64 extracts an exact int64 from a constant value.
+func constantInt64(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	s := tv.Value.ExactString()
+	var v int64
+	_, err := fmt.Sscanf(s, "%d", &v)
+	return v, err == nil
+}

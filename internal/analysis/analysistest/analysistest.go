@@ -1,0 +1,142 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against expectations written in the fixture source, mirroring
+// the golang.org/x/tools/go/analysis/analysistest convention:
+//
+//	combinat.MustBinomial(n, 4) // want `MustBinomial`
+//
+// A "want" comment holds one or more back-quoted or double-quoted regular
+// expressions; each must match a distinct diagnostic reported on that line,
+// and every diagnostic must be matched by some expectation. Fixture packages
+// live under <testdata>/src/<name> and are loaded with import path <name>,
+// so an analyzer scoped by package-path tail can be pointed at an in-scope
+// or out-of-scope fixture by directory name alone. Fixtures may import the
+// real module's packages (for example repro/internal/combinat).
+//
+// //lint:allow suppressions are honored, so fixtures can also assert that a
+// suppressed violation stays silent.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// TestData returns the testdata directory of the caller's package.
+func TestData() string {
+	return "testdata"
+}
+
+// Run loads each fixture package from <testdata>/src/<name> and applies the
+// analyzer, failing the test on any mismatch between reported diagnostics
+// and // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, names ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	root, err := load.FindModuleRoot(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var pkgs []*load.Package
+	for _, name := range names {
+		pkg, err := loader.LoadDir(filepath.Join(abs, "src", filepath.FromSlash(name)), name)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %s: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants := collectWants(t, loader.Fset, pkgs)
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		if !matchWant(wants[k], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", posString(d.Pos.Filename, d.Pos.Line), d.Message, d.Analyzer)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", posString(k.file, k.line), w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// matchWant marks and reports the first unmatched expectation on the line
+// that matches msg.
+func matchWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantPattern extracts quoted regexps from a want comment body.
+var wantPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses the // want comments of the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) map[lineKey][]*want {
+	t.Helper()
+	out := make(map[lineKey][]*want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					for _, q := range wantPattern.FindAllString(rest, -1) {
+						expr := q[1 : len(q)-1]
+						if q[0] == '"' {
+							expr = strings.ReplaceAll(expr, `\"`, `"`)
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", posString(k.file, k.line), expr, err)
+						}
+						out[k] = append(out[k], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func posString(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}

@@ -1,0 +1,13 @@
+package floatcompare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatcompare"
+)
+
+func TestFloatcompare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatcompare.Analyzer,
+		"fscore", "reduce")
+}

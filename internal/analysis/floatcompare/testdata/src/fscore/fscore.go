@@ -1,0 +1,36 @@
+// Package fscore exercises the floatcompare rule: direct comparisons of an
+// F score field outside the canonical comparator in internal/reduce.
+package fscore
+
+type combo struct {
+	F     float64
+	Genes [4]int32
+}
+
+func worseEq(a, b combo) bool {
+	return a.F == b.F // want `direct == comparison of an F score`
+}
+
+func worseGt(a, b combo) bool {
+	return a.F > b.F // want `direct > comparison of an F score`
+}
+
+func worseLt(x float64, b combo) bool {
+	return x < b.F // want `direct < comparison of an F score`
+}
+
+// Comparing non-F fields is fine.
+func cleanGenes(a, b combo) bool {
+	return a.Genes[0] < b.Genes[0]
+}
+
+// An F field that is not a float is not a score.
+type labeled struct{ F string }
+
+func cleanString(a, b labeled) bool {
+	return a.F == b.F
+}
+
+func suppressed(a, b combo) bool {
+	return a.F > b.F //lint:allow floatcompare fixture asserts suppression keeps this silent
+}

@@ -1,0 +1,22 @@
+// Package reduce stands in for internal/reduce: the home of the canonical
+// comparator, exempt from the floatcompare rule.
+package reduce
+
+type combo struct {
+	F     float64
+	Genes [4]int32
+}
+
+// better is the canonical tie-breaking order — direct F comparisons are the
+// point here, and the analyzer skips this package.
+func better(a, b combo) bool {
+	if a.F != b.F {
+		return a.F > b.F
+	}
+	for i := range a.Genes {
+		if a.Genes[i] != b.Genes[i] {
+			return a.Genes[i] < b.Genes[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+// Package goroleak guards the engine's concurrent surface: every worker
+// goroutine launched by the parallel packages (internal/cover, cluster,
+// mpisim, gpusim) must signal completion on every return path, or a
+// WaitGroup.Wait / channel receive upstream blocks forever and the
+// long-running cluster path wedges mid-iteration.
+//
+// Two conservative, syntactic rules over `go func` literals in the scoped
+// packages:
+//
+//  1. A goroutine body with no completion signal at all — no deferred
+//     WaitGroup.Done, no channel send or close, no context cancel — is
+//     flagged: nothing upstream can ever learn it finished.
+//  2. A body that calls Done without defer while also containing a return
+//     statement is flagged: the early return skips the signal.
+//
+// The check is an approximation (it does not trace every control-flow
+// path), so a deliberately detached goroutine carries a
+// //lint:allow goroleak suppression naming its lifecycle owner.
+package goroleak
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags worker goroutines that can finish without signaling.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "flags go func literals in the parallel packages lacking a completion signal on every return path",
+	Run:  run,
+}
+
+// scope is the set of package-path tails whose goroutines feed WaitGroups
+// and channels on the long-running cluster path.
+var scope = map[string]bool{
+	"cover":   true,
+	"cluster": true,
+	"mpisim":  true,
+	"gpusim":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope[analysis.PathTail(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkBody(pass, g, lit.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// signals summarizes the completion signals found in one goroutine body.
+type signals struct {
+	deferredDone bool // defer wg.Done() / defer close(ch) / defer cancel()
+	bareDone     bool // wg.Done() outside a defer
+	send         bool // ch <- v or close(ch)
+	cancel       bool // cancel() / ctx cancellation call
+	returns      int  // return statements in this body
+}
+
+// checkBody applies the two rules to one goroutine body.
+func checkBody(pass *analysis.Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	var s signals
+	scan(body, false, &s)
+	switch {
+	case !s.deferredDone && !s.bareDone && !s.send && !s.cancel:
+		pass.Reportf(g.Pos(),
+			"goroutine has no completion signal (WaitGroup.Done, channel send/close, or cancel); a waiter blocks forever")
+	case s.bareDone && !s.deferredDone && s.returns > 0:
+		pass.Reportf(g.Pos(),
+			"WaitGroup.Done is not deferred and the goroutine has early returns; a skipped Done deadlocks the Wait")
+	}
+}
+
+// scan walks one function body collecting signals. Nested function literals
+// that are merely defined (not deferred) and nested go statements are
+// skipped: their bodies signal for themselves, not for this goroutine.
+func scan(n ast.Node, inDefer bool, s *signals) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			// Reached only via non-defer paths (defers are handled below).
+			return false
+		case *ast.DeferStmt:
+			scanDeferred(m, s)
+			return false
+		case *ast.SendStmt:
+			s.send = true
+		case *ast.ReturnStmt:
+			s.returns++
+		case *ast.CallExpr:
+			classifyCall(m, inDefer, s)
+		}
+		return true
+	})
+}
+
+// scanDeferred records signals made by a defer statement, including defers
+// of function literals whose bodies signal.
+func scanDeferred(d *ast.DeferStmt, s *signals) {
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		scan(lit.Body, true, s)
+		return
+	}
+	classifyCall(d.Call, true, s)
+}
+
+// classifyCall records a Done/close/cancel call.
+func classifyCall(call *ast.CallExpr, inDefer bool, s *signals) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Done":
+			if inDefer {
+				s.deferredDone = true
+			} else {
+				s.bareDone = true
+			}
+		case "Cancel":
+			s.cancel = true
+		}
+	case *ast.Ident:
+		switch fun.Name {
+		case "close":
+			if inDefer {
+				s.deferredDone = true
+			} else {
+				s.send = true
+			}
+		case "cancel":
+			s.cancel = true
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package cluster stands in for internal/cluster — inside the goroleak
+// scope — and exercises both rules plus the approved patterns.
+package cluster
+
+import "sync"
+
+func leaky(n int) {
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { // want `goroutine has no completion signal`
+			results[i] = i * i
+		}(i)
+	}
+}
+
+func earlyReturn(wg *sync.WaitGroup, xs []int) {
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) { // want `WaitGroup.Done is not deferred and the goroutine has early returns`
+			if x < 0 {
+				return
+			}
+			work(x)
+			wg.Done()
+		}(x)
+	}
+}
+
+func deferredDone(wg *sync.WaitGroup, xs []int) {
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			if x < 0 {
+				return
+			}
+			work(x)
+		}(x)
+	}
+}
+
+func channelSend(xs []int) <-chan int {
+	out := make(chan int, len(xs))
+	for _, x := range xs {
+		go func(x int) {
+			out <- x * x
+		}(x)
+	}
+	return out
+}
+
+func deferredClose(xs []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, x := range xs {
+			work(x)
+		}
+	}()
+	return out
+}
+
+func detached() {
+	//lint:allow goroleak fixture asserts a suppressed detached goroutine stays silent
+	go func() {
+		for {
+			work(0)
+		}
+	}()
+}
+
+func work(int) {}

@@ -1,0 +1,9 @@
+// Package offpath is outside the goroleak scope: even a signal-free
+// goroutine stays silent here.
+package offpath
+
+func fireAndForget() {
+	go func() {
+		_ = 1 + 1
+	}()
+}

@@ -1,0 +1,130 @@
+// Package overflowcheck enforces the engine's overflow invariant: the
+// tetrahedral λ-maps of Algorithms 1–3 are only exact while every binomial
+// computation is checked for uint64 overflow, and λ-derived magnitudes must
+// not be narrowed to int without going through a checked conversion.
+//
+// Two rules:
+//
+//  1. A call to an internal/combinat function returning (uint64, bool) —
+//     Binomial and any future Tri/Tet-style checked API — must not discard
+//     the bool: assigning it to the blank identifier or dropping the whole
+//     result silently bypasses overflow detection.
+//  2. In packages that consume λ values (those importing internal/combinat),
+//     a raw conversion int(x) of a uint64 expression is flagged: on 32-bit
+//     platforms, or for λ-domain sizes beyond 2⁶³, the conversion silently
+//     truncates. Use combinat.ToInt (checked) or the int-returning decoders
+//     (combinat.PairCoords and friends).
+//
+// internal/combinat itself is exempt: it is the one package allowed to own
+// raw index arithmetic, and its tests pin the exactness.
+package overflowcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags discarded overflow flags and unchecked uint64→int narrowing
+// of λ-derived values.
+var Analyzer = &analysis.Analyzer{
+	Name: "overflowcheck",
+	Doc:  "flags discarded combinat overflow flags and raw uint64→int conversions of λ-derived values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathTail(pass.Pkg.Path()) == "combinat" {
+		return nil
+	}
+	importsCombinat := false
+	for _, imp := range pass.Pkg.Imports() {
+		if analysis.PathTail(imp.Path()) == "combinat" {
+			importsCombinat = true
+			break
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if fn := checkedCombinatFunc(pass.TypesInfo, call); fn != nil {
+						pass.Reportf(call.Pos(),
+							"result of combinat.%s discarded, including its overflow flag", fn.Name())
+					}
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.CallExpr:
+				if importsCombinat {
+					checkConversion(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `v, _ := combinat.Binomial(...)`-style assignments that
+// blank out the overflow flag.
+func checkAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := checkedCombinatFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if id, ok := assign.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(assign.Pos(),
+			"overflow flag of combinat.%s assigned to the blank identifier; handle it or use a checked wrapper", fn.Name())
+	}
+}
+
+// checkedCombinatFunc returns the called combinat function if it has the
+// (uint64, bool) checked-arithmetic shape, else nil.
+func checkedCombinatFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || analysis.PathTail(fn.Pkg().Path()) != "combinat" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return nil
+	}
+	if !isBasic(sig.Results().At(0).Type(), types.Uint64) || !isBasic(sig.Results().At(1).Type(), types.Bool) {
+		return nil
+	}
+	return fn
+}
+
+// checkConversion flags int(x) where x is a uint64 expression.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || !isBasic(tv.Type, types.Int) {
+		return
+	}
+	at, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || at.Type == nil || !isBasic(at.Type, types.Uint64) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"raw uint64→int conversion of a λ-derived value; use combinat.ToInt or an int-returning decoder")
+}
+
+// isBasic reports whether t's underlying type is the given basic kind.
+func isBasic(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}

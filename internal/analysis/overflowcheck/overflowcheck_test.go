@@ -1,0 +1,13 @@
+package overflowcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/overflowcheck"
+)
+
+func TestOverflowcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), overflowcheck.Analyzer,
+		"overflow", "overflowok")
+}

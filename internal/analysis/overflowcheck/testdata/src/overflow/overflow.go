@@ -1,0 +1,39 @@
+// Package overflow exercises both overflowcheck rules: discarded overflow
+// flags from checked combinat arithmetic, and raw uint64→int narrowing in a
+// package that consumes λ values.
+package overflow
+
+import "repro/internal/combinat"
+
+func discards(g uint64) {
+	combinat.Binomial(g, 4) // want `result of combinat.Binomial discarded`
+}
+
+func blanks(g uint64) uint64 {
+	n, _ := combinat.Binomial(g, 3) // want `overflow flag of combinat.Binomial assigned to the blank identifier`
+	return n
+}
+
+func narrows(lambda uint64) int {
+	i, _, _ := combinat.TripleCoords(lambda)
+	_ = int(lambda) // want `raw uint64→int conversion`
+	return i
+}
+
+func checked(g uint64) (uint64, error) {
+	// Handling the flag is the approved pattern: no diagnostic.
+	n, ok := combinat.Binomial(g, 4)
+	if !ok {
+		return 0, errOverflow
+	}
+	// The checked narrowing helper is equally clean.
+	_ = combinat.ToInt(n)
+	return n, nil
+}
+
+var errOverflow = error(nil)
+
+func suppressed(g uint64) {
+	//lint:allow overflowcheck fixture asserts suppression keeps this silent
+	combinat.Binomial(g, 4)
+}

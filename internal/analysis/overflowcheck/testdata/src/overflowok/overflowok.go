@@ -1,0 +1,11 @@
+// Package overflowok is the clean fixture: it never imports combinat, so
+// even raw uint64→int conversions are outside the λ-consumer rule.
+package overflowok
+
+func plainNarrow(x uint64) int {
+	return int(x)
+}
+
+func plainDivide(x uint64) uint64 {
+	return x / 2
+}

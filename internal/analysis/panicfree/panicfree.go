@@ -1,0 +1,85 @@
+// Package panicfree protects the long-running cluster path: a panic inside
+// the orchestration layer (internal/cluster, cover, sched, mpisim, gpusim)
+// tears down a multi-hour, multi-rank campaign that an error return would
+// have let the driver retry, checkpoint, or skip. Library code on that path
+// returns errors; panics are reserved for invariant assertions that indicate
+// a programmer error, and each such site carries a
+// //lint:allow panicfree <reason> suppression.
+//
+// Two rules inside the scoped packages (package main and test files are
+// exempt):
+//
+//  1. Any call to the builtin panic is flagged.
+//  2. Any call to combinat.MustBinomial (or any combinat Must* wrapper) is
+//     flagged: it panics on uint64 overflow of a binomial that untrusted
+//     input sizes can drive arbitrarily high; use combinat.Binomial and
+//     propagate the ok flag as an error.
+//
+// The leaf data-structure packages (combinat, bitmat, reduce) are outside
+// the scope by design: their panics assert index invariants the same way a
+// slice bounds check does, and converting them to error returns would put
+// branch overhead in the innermost kernels. docs/INVARIANTS.md records this
+// boundary.
+package panicfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags panics and Must-wrappers in the long-running library path.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicfree",
+	Doc:  "flags panic and combinat.Must* calls in library code on the long-running cluster path",
+	Run:  run,
+}
+
+// scope is the set of package-path tails on the cluster path that must
+// return errors instead of panicking.
+var scope = map[string]bool{
+	"cluster": true,
+	"cover":   true,
+	"sched":   true,
+	"mpisim":  true,
+	"gpusim":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" || !scope[analysis.PathTail(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBuiltinPanic(pass.TypesInfo, call) {
+				pass.Reportf(call.Pos(),
+					"panic on the long-running cluster path; return an error, or //lint:allow panicfree <reason> for an invariant assertion")
+				return true
+			}
+			if fn := analysis.Callee(pass.TypesInfo, call); fn != nil &&
+				fn.Pkg() != nil && analysis.PathTail(fn.Pkg().Path()) == "combinat" &&
+				strings.HasPrefix(fn.Name(), "Must") {
+				pass.Reportf(call.Pos(),
+					"combinat.%s panics on overflow; use the checked variant and propagate an error", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isBuiltinPanic reports whether call invokes the predeclared panic.
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

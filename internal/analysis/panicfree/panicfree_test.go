@@ -1,0 +1,13 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/panicfree"
+)
+
+func TestPanicfree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), panicfree.Analyzer,
+		"gpusim", "cover")
+}

@@ -1,0 +1,10 @@
+// This fixture sits at an in-scope import path ("cover") but declares
+// package main: the entry-point exemption must win, so its panic stays
+// silent — a CLI's process is its own failure domain.
+package main
+
+func main() {
+	if 1 < 0 {
+		panic("unreachable")
+	}
+}

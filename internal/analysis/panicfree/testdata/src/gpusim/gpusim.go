@@ -1,0 +1,26 @@
+// Package gpusim stands in for internal/gpusim — library code on the
+// long-running cluster path, where panics must be suppressions-only.
+package gpusim
+
+import "repro/internal/combinat"
+
+func validate(rowWords int) {
+	if rowWords <= 0 {
+		panic("gpusim: RowWords must be positive") // want `panic on the long-running cluster path`
+	}
+}
+
+func domainSize(g uint64) uint64 {
+	return combinat.MustBinomial(g, 4) // want `combinat.MustBinomial panics on overflow`
+}
+
+func checkedDomainSize(g uint64) (uint64, bool) {
+	return combinat.Binomial(g, 4)
+}
+
+func invariant(words int) {
+	if words < 0 {
+		//lint:allow panicfree fixture asserts a justified invariant assertion stays silent
+		panic("gpusim: negative word count")
+	}
+}

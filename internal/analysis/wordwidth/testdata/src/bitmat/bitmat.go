@@ -1,0 +1,7 @@
+// Package bitmat stands in for internal/bitmat: the one package allowed to
+// own the word/bit layout, so nothing here is flagged.
+package bitmat
+
+func wordIndex(s int) int   { return s / 64 }
+func bitOffset(s int) int   { return s % 64 }
+func shift(s uint64) uint64 { return s >> 6 }

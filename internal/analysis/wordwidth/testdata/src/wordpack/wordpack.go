@@ -1,0 +1,44 @@
+// Package wordpack exercises the wordwidth rules: hardcoded 64-bit packing
+// arithmetic and direct Words() indexing outside internal/bitmat.
+package wordpack
+
+type vec struct {
+	bits []uint64
+}
+
+func (v *vec) Words() []uint64 { return v.bits }
+
+func wordIndex(s int) int {
+	return s / 64 // want `hardcoded word-packing arithmetic \(/ 64\)`
+}
+
+func bitOffset(s int) int {
+	return s % 64 // want `hardcoded word-packing arithmetic \(% 64\)`
+}
+
+func maskOffset(s uint64) uint64 {
+	return s & 63 // want `hardcoded word-packing arithmetic \(& 63\)`
+}
+
+func shiftIndex(s uint64) uint64 {
+	return s >> 6 // want `hardcoded word-packing arithmetic \(>> 6\)`
+}
+
+func peek(v *vec, w int) uint64 {
+	return v.Words()[w] // want `direct indexing of a Words\(\) slice`
+}
+
+// Unrelated arithmetic with other constants stays silent.
+func clean(s int) int {
+	return s/32 + s%7
+}
+
+// Floating-point division by 64 is not packing arithmetic.
+func cleanFloat(x float64) float64 {
+	return x / 64
+}
+
+func suppressed(s int) int {
+	//lint:allow wordwidth fixture asserts suppression keeps this silent
+	return s / 64
+}

@@ -1,0 +1,88 @@
+// Package wordwidth enforces the bit-packing invariant of Sec. II-C: the
+// compressed matrices pack exactly 64 samples per machine word, and every
+// piece of packing arithmetic belongs inside internal/bitmat. Hardcoded
+// word-width constants elsewhere (x/64, x%64, x&63, x>>6, x<<6) duplicate
+// the layout and silently break if the word width ever changes (for example
+// a 32-bit accelerator backend or a SIMD repack); such call sites should use
+// bitmat.WordBits, bitmat.WordsFor, or a bitmat accessor instead. Direct
+// indexing of a Words() slice outside bitmat is flagged for the same reason:
+// the word/bit split is bitmat's private layout.
+package wordwidth
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags hardcoded 64-bit word-packing arithmetic and direct Words()
+// indexing outside internal/bitmat.
+var Analyzer = &analysis.Analyzer{
+	Name: "wordwidth",
+	Doc:  "flags hardcoded 64-samples-per-word packing arithmetic outside internal/bitmat",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathTail(pass.Pkg.Path()) == "bitmat" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.IndexExpr:
+				checkWordsIndex(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packingOps maps suspicious operators to the literal that marks them as
+// word-packing arithmetic.
+var packingOps = map[token.Token]int64{
+	token.QUO: 64, // x / 64: word index
+	token.REM: 64, // x % 64: bit offset
+	token.AND: 63, // x & 63: bit offset
+	token.SHR: 6,  // x >> 6: word index
+	token.SHL: 6,  // x << 6: word count → samples
+}
+
+// checkBinary flags integer expressions of the form x op <packing literal>.
+func checkBinary(pass *analysis.Pass, expr *ast.BinaryExpr) {
+	lit, ok := packingOps[expr.Op]
+	if !ok || !analysis.IsIntLiteral(pass.TypesInfo, expr.Y, lit) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[expr.X]; !ok || tv.Type == nil || !isInteger(tv.Type) {
+		return
+	}
+	pass.Reportf(expr.Pos(),
+		"hardcoded word-packing arithmetic (%s %d); use bitmat.WordBits/bitmat.WordsFor or keep the layout inside internal/bitmat",
+		expr.Op, lit)
+}
+
+// checkWordsIndex flags expr.Words()[i] outside bitmat.
+func checkWordsIndex(pass *analysis.Pass, idx *ast.IndexExpr) {
+	call, ok := ast.Unparen(idx.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Words" {
+		return
+	}
+	pass.Reportf(idx.Pos(),
+		"direct indexing of a Words() slice leaks the word/bit split; use a bitmat accessor")
+}
+
+// isInteger reports whether t's underlying type is an integer.
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

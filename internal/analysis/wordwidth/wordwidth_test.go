@@ -1,0 +1,13 @@
+package wordwidth_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wordwidth"
+)
+
+func TestWordwidth(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wordwidth.Analyzer,
+		"wordpack", "bitmat")
+}

@@ -25,6 +25,14 @@ import (
 // WordBits is the number of samples packed into one matrix word.
 const WordBits = 64
 
+// WordsFor returns the packed word count covering n samples,
+// ceil(n/WordBits). Code outside this package must use it (or WordBits)
+// instead of hardcoding 64-bit word arithmetic — the wordwidth analyzer
+// enforces that.
+func WordsFor(n int) int {
+	return (n + WordBits - 1) / WordBits
+}
+
 // Matrix is a bit-packed genes×samples binary matrix, row-major with
 // ceil(samples/64) words per row. The zero value is not usable; construct
 // with New or FromBools.
@@ -40,7 +48,7 @@ func New(genes, samples int) *Matrix {
 	if genes < 0 || samples < 0 {
 		panic(fmt.Sprintf("bitmat: negative dimensions (%d, %d)", genes, samples))
 	}
-	w := (samples + WordBits - 1) / WordBits
+	w := WordsFor(samples)
 	return &Matrix{
 		genes:   genes,
 		samples: samples,
@@ -421,7 +429,7 @@ func NewVec(n int) *Vec {
 	if n < 0 {
 		panic("bitmat: negative vector length")
 	}
-	return &Vec{n: n, bits: make([]uint64, (n+WordBits-1)/WordBits)}
+	return &Vec{n: n, bits: make([]uint64, WordsFor(n))}
 }
 
 // AllOnes returns a vector with every one of its n bits set.

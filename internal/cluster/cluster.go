@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitmat"
 	"repro/internal/combinat"
 	"repro/internal/cover"
 	"repro/internal/gpusim"
@@ -147,23 +148,25 @@ func (w Workload) Validate() error {
 }
 
 // curve builds the workload curve for the scheme.
-func (w Workload) curve() sched.Curve {
+func (w Workload) curve() (sched.Curve, error) {
 	g := uint64(w.Genes)
 	switch w.Scheme {
 	case cover.SchemePair:
-		return sched.NewFlat(combinat.PairCount(g))
+		return sched.NewFlat(combinat.PairCount(g)), nil
 	case cover.Scheme2x1:
-		return sched.NewTri2x1(g)
+		return sched.NewTri2x1(g), nil
 	case cover.Scheme2x2:
-		return sched.NewTri2x2(g)
+		return sched.NewTri2x2(g), nil
 	case cover.Scheme3x1:
-		return sched.NewTetra3x1(g)
+		return sched.NewTetra3x1(g), nil
 	case cover.Scheme1x3:
-		return sched.NewLin1x3(g)
+		return sched.NewLin1x3(g), nil
 	case cover.Scheme4x1:
-		return sched.NewFlat(combinat.QuadCount(g))
+		return sched.NewFlat(combinat.QuadCount(g)), nil
 	}
-	panic("cluster: unsupported scheme")
+	// Workloads arrive from job specs; an unknown scheme is bad input,
+	// not a programmer error.
+	return nil, fmt.Errorf("cluster: unsupported scheme %v", w.Scheme)
 }
 
 // prefetchRows returns the per-thread prefetch row count for the scheme.
@@ -252,7 +255,7 @@ func (w Workload) costModel(d gpusim.DeviceSpec) sched.CostModel {
 
 // partitions cuts the curve for the machine according to the workload's
 // scheduler configuration.
-func (w Workload) partitions(curve sched.Curve, spec Spec) []sched.Partition {
+func (w Workload) partitions(curve sched.Curve, spec Spec) ([]sched.Partition, error) {
 	switch {
 	case w.Scheduler == cover.EquiDistance:
 		return sched.EquiDistance(curve, spec.GPUs())
@@ -266,7 +269,7 @@ func (w Workload) partitions(curve sched.Curve, spec Spec) []sched.Partition {
 // words returns the packed words per gene row across both matrices for the
 // given remaining tumor sample count.
 func (w Workload) words(tumorSamples int) int {
-	return (tumorSamples+63)/64 + (w.NormalSamples+63)/64
+	return bitmat.WordsFor(tumorSamples) + bitmat.WordsFor(w.NormalSamples)
 }
 
 // RankReport is one MPI rank's virtual-time ledger (Fig. 8).
@@ -329,8 +332,14 @@ func Simulate(spec Spec, w Workload) (*Report, error) {
 
 	// Per-iteration node compute times: nodes × iterations.
 	nodeBusy := make([][]float64, w.Iterations)
-	curve := w.curve()
-	parts := w.partitions(curve, spec)
+	curve, err := w.curve()
+	if err != nil {
+		return nil, err
+	}
+	parts, err := w.partitions(curve, spec)
+	if err != nil {
+		return nil, err
+	}
 	prefetch := w.prefetchRows()
 	irr := w.irregularity()
 	cap := w.spanCap()
@@ -397,7 +406,7 @@ func Simulate(spec Spec, w Workload) (*Report, error) {
 	// Play the rank-level protocol under the virtual clock: compute, reduce
 	// the per-rank 20-byte winner to rank 0, broadcast the exclusion set.
 	world := mpisim.NewWorld(spec.Nodes, spec.Comm)
-	err := world.Run(func(r *mpisim.Rank) error {
+	err = world.Run(func(r *mpisim.Rank) error {
 		for iter := 0; iter < w.Iterations; iter++ {
 			r.Compute(nodeBusy[iter][r.ID()] + spec.IterOverheadSec)
 			r.Reduce(reduce.None, reduce.BytesPerRecord, combineCombo)
@@ -477,8 +486,14 @@ func WeakScaling(w Workload, nodeCounts []int) ([]ScalingPoint, error) {
 		return nil, err
 	}
 	baseGPUs := baseSpec.GPUs()
-	curve := w.curve()
-	parts := w.partitions(curve, baseSpec)
+	curve, err := w.curve()
+	if err != nil {
+		return nil, err
+	}
+	parts, err := w.partitions(curve, baseSpec)
+	if err != nil {
+		return nil, err
+	}
 	rowWords := w.words(w.TumorSamples)
 	prefetch := w.prefetchRows()
 	irr := w.irregularity()
@@ -538,7 +553,10 @@ func SingleGPUSeconds(spec Spec, w Workload) (float64, error) {
 	if err := w.Validate(); err != nil {
 		return 0, err
 	}
-	curve := w.curve()
+	curve, err := w.curve()
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
 	tumorLeft := w.TumorSamples
 	for iter := 0; iter < w.Iterations; iter++ {

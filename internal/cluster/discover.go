@@ -74,15 +74,24 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 			w.Scheme = cover.Scheme3x1
 		}
 	}
-	curve := w.curve()
+	curve, err := w.curve()
+	if err != nil {
+		return nil, err
+	}
 	// Hierarchical schedule, as on the real machine: ranks split the
 	// domain equi-area, then each rank splits its share across its GPUs
 	// (Fig. 1). Under equi-distance both levels split by thread count.
 	var perNode [][]sched.Partition
 	if opt.Scheduler == cover.EquiDistance {
-		nodeParts := sched.EquiDistance(curve, spec.Nodes)
+		nodeParts, err := sched.EquiDistance(curve, spec.Nodes)
+		if err != nil {
+			return nil, err
+		}
 		for _, np := range nodeParts {
-			sub := sched.EquiDistance(sched.NewFlat(np.Size()), spec.GPUsPerNode)
+			sub, err := sched.EquiDistance(sched.NewFlat(np.Size()), spec.GPUsPerNode)
+			if err != nil {
+				return nil, err
+			}
 			var shifted []sched.Partition
 			for _, p := range sub {
 				shifted = append(shifted, sched.Partition{Lo: np.Lo + p.Lo, Hi: np.Lo + p.Hi})
@@ -90,7 +99,10 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 			perNode = append(perNode, shifted)
 		}
 	} else {
-		tl := sched.NewTwoLevel(curve, spec.Nodes, spec.GPUsPerNode)
+		tl, err := sched.NewTwoLevel(curve, spec.Nodes, spec.GPUsPerNode)
+		if err != nil {
+			return nil, err
+		}
 		perNode = tl.PerNode
 	}
 	rowWords := w.words(tumor.Samples())
@@ -102,7 +114,7 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 	var mu sync.Mutex // guards res.Steps appends from rank 0
 
 	world := mpisim.NewWorld(spec.Nodes, spec.Comm)
-	err := world.Run(func(r *mpisim.Rank) error {
+	err = world.Run(func(r *mpisim.Rank) error {
 		active := bitmat.AllOnes(tumor.Samples())
 		buf := make([]uint64, tumor.Words())
 		for iter := 0; opt.MaxIterations == 0 || iter < opt.MaxIterations; iter++ {

@@ -1,0 +1,44 @@
+package combinat
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the checked narrowing helpers the overflowcheck analyzer
+// steers λ consumers toward. Gene coordinates decoded from a λ index are
+// bounded by the gene count G and always fit an int, but a raw int(x)
+// conversion encodes that assumption invisibly; these helpers assert it.
+// Panicking here is the package's usual invariant-assertion style (compare
+// PairToLinear), and combinat is deliberately outside the panicfree
+// analyzer's scope: it is a leaf index-arithmetic package whose panics are
+// the moral equivalent of slice bounds checks.
+
+// ToInt converts a λ-derived value to int, panicking if it does not fit.
+// Use it wherever a count or coordinate proven to be small crosses into
+// int-indexed code; the panic documents (and enforces) the proof.
+func ToInt(u uint64) int {
+	if u > math.MaxInt {
+		panic(fmt.Sprintf("combinat: value %d overflows int", u))
+	}
+	return int(u)
+}
+
+// PairCoords decodes λ like LinearToPair and returns int coordinates — the
+// form the kernels index matrices with.
+func PairCoords(lambda uint64) (i, j int) {
+	iu, ju := LinearToPair(lambda)
+	return ToInt(iu), ToInt(ju)
+}
+
+// TripleCoords decodes λ like LinearToTriple and returns int coordinates.
+func TripleCoords(lambda uint64) (i, j, k int) {
+	iu, ju, ku := LinearToTriple(lambda)
+	return ToInt(iu), ToInt(ju), ToInt(ku)
+}
+
+// QuadCoords decodes λ like LinearToQuad and returns int coordinates.
+func QuadCoords(lambda uint64) (i, j, k, l int) {
+	iu, ju, ku, lu := LinearToQuad(lambda)
+	return ToInt(iu), ToInt(ju), ToInt(ku), ToInt(lu)
+}

@@ -1,0 +1,46 @@
+package combinat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestToInt(t *testing.T) {
+	for _, u := range []uint64{0, 1, 19411, math.MaxInt} {
+		if got := ToInt(u); uint64(got) != u {
+			t.Errorf("ToInt(%d) = %d", u, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ToInt(MaxInt+1) should panic")
+		}
+	}()
+	ToInt(uint64(math.MaxInt) + 1)
+}
+
+func TestCoordsMatchDecoders(t *testing.T) {
+	for _, lambda := range []uint64{0, 1, 2, 100, 99999, 1 << 30} {
+		iu, ju := LinearToPair(lambda)
+		i, j := PairCoords(lambda)
+		if uint64(i) != iu || uint64(j) != ju {
+			t.Errorf("PairCoords(%d) = (%d, %d), want (%d, %d)", lambda, i, j, iu, ju)
+		}
+	}
+	for _, lambda := range []uint64{0, 1, 2, 100, 99999, 1 << 30} {
+		iu, ju, ku := LinearToTriple(lambda)
+		i, j, k := TripleCoords(lambda)
+		if uint64(i) != iu || uint64(j) != ju || uint64(k) != ku {
+			t.Errorf("TripleCoords(%d) = (%d, %d, %d), want (%d, %d, %d)",
+				lambda, i, j, k, iu, ju, ku)
+		}
+	}
+	for _, lambda := range []uint64{0, 1, 2, 100, 99999, 1 << 30} {
+		iu, ju, ku, lu := LinearToQuad(lambda)
+		i, j, k, l := QuadCoords(lambda)
+		if uint64(i) != iu || uint64(j) != ju || uint64(k) != ku || uint64(l) != lu {
+			t.Errorf("QuadCoords(%d) = (%d, %d, %d, %d), want (%d, %d, %d, %d)",
+				lambda, i, j, k, l, iu, ju, ku, lu)
+		}
+	}
+}

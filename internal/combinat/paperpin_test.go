@@ -1,0 +1,103 @@
+package combinat
+
+import "testing"
+
+// These tests pin the exact agreement range of the paper's closed-form
+// float decoders (PaperPairJ, PaperTripleK) against the integer-exact
+// decoders, so a future refactor of the float paths cannot silently shrink
+// it. The boundary values were found by scanning every level boundary
+// (λ = Tri(j), Tri(j+1)−1 and λ = Tet(k), Tet(k+1)−1) plus a binary search
+// inside the first divergent level; since the float estimates are monotone
+// non-decreasing in λ and the exact coordinate is constant within a level,
+// checking the level boundaries covers every λ between them.
+
+func TestPaperPairJAgreementPin(t *testing.T) {
+	// PaperPairJ matches the exact decode for every λ up to
+	// 9 007 199 321 849 854 — the tail of level j = 2²⁷, right where
+	// 2λ + ¼ exhausts float64's 53-bit mantissa — and first diverges at
+	// the very next λ.
+	const largestAgreeing = 9007199321849854
+	const firstDivergent = largestAgreeing + 1
+
+	cases := []struct {
+		lambda uint64
+		paperJ uint64
+		exactJ uint64
+	}{
+		{0, 1, 1}, // the paper's 1-indexed guess floor(√¼+½) = 1; LinearToPair walks it back
+		{1, 2, 2},
+		{2, 2, 2},
+		{Tri(1000), 1000, 1000},     // level start
+		{Tri(1001) - 1, 1000, 1000}, // level end
+		{1 << 40, 1482910, 1482910},
+		{1 << 52, 94906266, 94906266},
+		{Tri(1 << 27), 134217728, 134217728},    // start of the last fully-exact level
+		{largestAgreeing, 134217728, 134217728}, // largest λ with exact agreement
+		{firstDivergent, 134217729, 134217728},  // float rounds up one level early
+	}
+	for _, c := range cases {
+		if got := PaperPairJ(c.lambda); got != c.paperJ {
+			t.Errorf("PaperPairJ(%d) = %d, pinned %d", c.lambda, got, c.paperJ)
+		}
+		_, j := LinearToPair(c.lambda)
+		if j != c.exactJ {
+			t.Errorf("LinearToPair(%d) j = %d, pinned %d", c.lambda, j, c.exactJ)
+		}
+	}
+
+	// Sweep level boundaries below the pinned horizon: exact agreement.
+	for _, j := range []uint64{1, 2, 3, 10, 1000, 1 << 10, 1 << 20, 1<<27 - 1} {
+		for _, lambda := range []uint64{Tri(j), Tri(j+1) - 1} {
+			if pj := PaperPairJ(lambda); pj != j {
+				t.Errorf("PaperPairJ(%d) = %d, want %d (level boundary below pinned horizon)", lambda, pj, j)
+			}
+		}
+	}
+}
+
+func TestPaperTripleKDriftBandPin(t *testing.T) {
+	// PaperTripleK solves the 1-indexed cubic, so it never equals the
+	// 0-indexed exact k; its drift sits in the band [−2, −1] from λ = 1 all
+	// the way to the top of the uint64-representable tetrahedral domain
+	// (level k = 4 801 279; Tet overflows at C(4 801 281, 3)). The fix-up
+	// walk in LinearToTriple absorbs the band; this test pins that the band
+	// never widens.
+	cases := []struct {
+		lambda uint64
+		paperK uint64
+		exactK uint64
+	}{
+		{1, 1, 3}, // smallest λ: drift −2
+		{3, 2, 3}, // level tail: drift −1
+		{4, 2, 4},
+		{1 << 40, 18754, 18755},
+		{Tet(19411), 19409, 19411},             // BRCA domain top boundary
+		{TripleCount(19411) - 1, 19409, 19410}, // largest BRCA λ
+		{1 << 53, 378076, 378078},              // past float64's integer range
+		{Tet(4801279), 4801277, 4801279},       // last decodable level start
+		{Tet(4801280) - 1, 4801278, 4801279},   // largest safely decodable λ
+	}
+	for _, c := range cases {
+		if got := PaperTripleK(c.lambda); got != c.paperK {
+			t.Errorf("PaperTripleK(%d) = %d, pinned %d", c.lambda, got, c.paperK)
+		}
+		_, _, k := LinearToTriple(c.lambda)
+		if k != c.exactK {
+			t.Errorf("LinearToTriple(%d) k = %d, pinned %d", c.lambda, k, c.exactK)
+		}
+	}
+
+	// Band sweep: at every sampled level boundary across the full domain the
+	// drift stays in [−2, −1].
+	for _, k := range []uint64{3, 4, 10, 1000, 19411, 378078, 1 << 20, 4000000, 4801278} {
+		for _, lambda := range []uint64{Tet(k), Tet(k+1) - 1} {
+			_, _, ek := LinearToTriple(lambda)
+			pk := PaperTripleK(lambda)
+			d := int64(pk) - int64(ek)
+			if d < -2 || d > -1 {
+				t.Errorf("PaperTripleK(%d) drift %d outside pinned band [-2, -1] (paper %d, exact %d)",
+					lambda, d, pk, ek)
+			}
+		}
+	}
+}

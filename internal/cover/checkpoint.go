@@ -165,7 +165,10 @@ func continueGreedy(tumor, normal *bitmat.Matrix, opt Options, active *bitmat.Ve
 		if remaining == 0 {
 			return nil
 		}
-		best, evaluated := findBest(tumor, active, normal, opt, denom)
+		best, evaluated, err := findBest(tumor, active, normal, opt, denom)
+		if err != nil {
+			return err
+		}
 		res.Evaluated += evaluated
 		if best == reduce.None {
 			return nil

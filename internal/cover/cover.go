@@ -303,7 +303,11 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 		// The denominator stays pinned to the original cohort size so F
 		// values remain comparable across iterations whether or not
 		// BitSplicing shrinks the working matrix.
-		best, evaluated := findBest(cur, active, normal, opt, float64(nt+normal.Samples()))
+		best, evaluated, err := findBest(cur, active, normal, opt, float64(nt+normal.Samples()))
+		if err != nil {
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
 		res.Evaluated += evaluated
 		if best == reduce.None {
 			break
@@ -392,9 +396,8 @@ func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (re
 	if active == nil {
 		active = bitmat.AllOnes(tumor.Samples())
 	}
-	best, n := findBest(tumor, active, normal, opt,
+	return findBest(tumor, active, normal, opt,
 		float64(tumor.Samples()+normal.Samples()))
-	return best, n, nil
 }
 
 // FindBestRange runs the scheme kernel over a single λ-range [lo, hi) of
@@ -435,7 +438,7 @@ func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options
 
 // findBest partitions the λ-domain, runs the scheme kernel on every worker,
 // and reduces the winners.
-func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, uint64) {
+func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, uint64, error) {
 	g := uint64(tumor.Genes())
 	var curve sched.Curve
 	switch opt.Scheme {
@@ -452,7 +455,9 @@ func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, o
 	case Scheme4x1:
 		curve = sched.NewFlat(combinat.QuadCount(g))
 	default:
-		panic("cover: unresolved scheme")
+		// Scheme arrives from CLI flags and config files; an unknown value
+		// is untrusted input, not a programmer error.
+		return reduce.None, 0, fmt.Errorf("cover: unresolved scheme %v", opt.Scheme)
 	}
 
 	workers := opt.Workers
@@ -460,10 +465,14 @@ func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, o
 		workers = 1
 	}
 	var parts []sched.Partition
+	var err error
 	if opt.Scheduler == EquiDistance {
-		parts = sched.EquiDistance(curve, workers)
+		parts, err = sched.EquiDistance(curve, workers)
 	} else {
-		parts = sched.EquiArea(curve, workers)
+		parts, err = sched.EquiArea(curve, workers)
+	}
+	if err != nil {
+		return reduce.None, 0, err
 	}
 
 	env := &kernelEnv{
@@ -496,7 +505,7 @@ func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, o
 		total += c
 	}
 	// Rank-0 reduction across workers.
-	return reduce.Max(bests), total
+	return reduce.Max(bests), total, nil
 }
 
 // kernelEnv bundles the per-iteration read-only state shared by workers.

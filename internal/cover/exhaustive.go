@@ -132,8 +132,8 @@ func ExhaustiveBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, alpha flo
 						tp := bitmat.PopAnd2(tbuf, tumor.Row(l))
 						tn := nn - bitmat.PopAnd2(nbuf, normal.Row(l))
 						f := (alpha*float64(tp) + float64(tn)) / denom
-						if f > best.F {
-							best = Combo5{Genes: [5]int{i, j, k, m, l}, F: f}
+						if c := (Combo5{Genes: [5]int{i, j, k, m, l}, F: f}); better5(c, best) {
+							best = c
 						}
 					}
 				}

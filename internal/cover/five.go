@@ -20,9 +20,11 @@ import (
 // holds only four gene ids, so 5-hit results use the wider Combo5.
 
 // better5 is the deterministic total order for 5-hit records: higher F,
-// ties to the lexicographically smaller gene tuple.
+// ties to the lexicographically smaller gene tuple. It is the one canonical
+// comparator for Combo5 — every other 5-hit ordering must route through it,
+// which is exactly what the floatcompare analyzer enforces.
 func better5(a, b Combo5) bool {
-	if a.F != b.F {
+	if a.F != b.F { //lint:allow floatcompare canonical 5-hit total order; all other comparisons route through better5
 		return a.F > b.F
 	}
 	for i := range a.Genes {
@@ -98,9 +100,12 @@ func Run5(tumor, normal *bitmat.Matrix, opt Options5) (*Result5, error) {
 		if remaining == 0 {
 			break
 		}
-		best, n := findBest5(tumor, normal, active, opt)
+		best, n, err := findBest5(tumor, normal, active, opt)
+		if err != nil {
+			return nil, err
+		}
 		res.Evaluated += n
-		if best.F < 0 {
+		if best.Genes[0] < 0 { // the none5 sentinel: no combination found
 			break
 		}
 		tumor.ComboVec(buf, best.Genes[:]...)
@@ -148,8 +153,7 @@ func FindBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (
 	if active == nil {
 		active = bitmat.AllOnes(tumor.Samples())
 	}
-	best, n := findBest5(tumor, normal, active, opt)
-	return best, n, nil
+	return findBest5(tumor, normal, active, opt)
 }
 
 // quadCurve builds the 5-hit workload curve: C(g, 4) threads at levels
@@ -160,10 +164,13 @@ func quadCurve(g uint64) sched.Curve {
 }
 
 // findBest5 partitions the quad domain across workers and reduces.
-func findBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, uint64) {
+func findBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, uint64, error) {
 	g := uint64(tumor.Genes())
 	curve := quadCurve(g)
-	parts := sched.EquiArea(curve, opt.Workers)
+	parts, err := sched.EquiArea(curve, opt.Workers)
+	if err != nil {
+		return none5, 0, err
+	}
 
 	denom := float64(tumor.Samples() + normal.Samples())
 	nn := normal.Samples()
@@ -191,7 +198,7 @@ func findBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (
 			best = bests[w]
 		}
 	}
-	return best, total
+	return best, total, nil
 }
 
 // kernel4x1five: thread (i, j, k, l) runs one inner loop over m, with the
@@ -204,8 +211,7 @@ func kernel4x1five(tm, nm *bitmat.Matrix, active *bitmat.Vec, alpha, denom float
 	best := none5
 	var evaluated uint64
 
-	iu, ju, ku, lu := combinat.LinearToQuad(part.Lo)
-	i, j, k, l := int(iu), int(ju), int(ku), int(lu)
+	i, j, k, l := combinat.QuadCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		bitmat.AndWords(tbuf, aw, tm.Row(i))
 		bitmat.AndWords(tbuf, tbuf, tm.Row(j))

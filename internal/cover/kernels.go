@@ -21,8 +21,7 @@ import (
 func kernelPair(env *kernelEnv, part sched.Partition, observe func(reduce.Combo)) uint64 {
 	tm, nm := env.tumor, env.normal
 	aw := env.active.Words()
-	iu, ju := combinat.LinearToPair(part.Lo)
-	i, j := int(iu), int(ju)
+	i, j := combinat.PairCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		tp := bitmat.PopAnd3(aw, tm.Row(i), tm.Row(j))
 		nh := bitmat.PopAnd2(nm.Row(i), nm.Row(j))
@@ -52,8 +51,7 @@ func kernel2x1(env *kernelEnv, opt Options, part sched.Partition, observe func(r
 	nbuf := make([]uint64, nm.Words())
 	var evaluated uint64
 
-	iu, ju := combinat.LinearToPair(part.Lo)
-	i, j := int(iu), int(ju)
+	i, j := combinat.PairCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		best := reduce.None
 		switch {
@@ -112,8 +110,7 @@ func kernel2x2(env *kernelEnv, part sched.Partition, observe func(reduce.Combo))
 	nbuf3 := make([]uint64, nm.Words())
 	var evaluated uint64
 
-	iu, ju := combinat.LinearToPair(part.Lo)
-	i, j := int(iu), int(ju)
+	i, j := combinat.PairCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		best := reduce.None
 		bitmat.AndWords(tbuf2, aw, tm.Row(i))
@@ -154,7 +151,7 @@ func kernel1x3(env *kernelEnv, part sched.Partition, observe func(reduce.Combo))
 	var evaluated uint64
 
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
-		i := int(lambda)
+		i := combinat.ToInt(lambda)
 		best := reduce.None
 		for j := i + 1; j < g-2; j++ {
 			bitmat.AndWords(tbuf2, aw, tm.Row(i))
@@ -185,8 +182,7 @@ func kernel1x3(env *kernelEnv, part sched.Partition, observe func(reduce.Combo))
 func kernel4x1(env *kernelEnv, part sched.Partition, observe func(reduce.Combo)) uint64 {
 	tm, nm := env.tumor, env.normal
 	aw := env.active.Words()
-	iu, ju, ku, lu := combinat.LinearToQuad(part.Lo)
-	i, j, k, l := int(iu), int(ju), int(ku), int(lu)
+	i, j, k, l := combinat.QuadCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		tp := 0
 		{
@@ -222,8 +218,7 @@ func kernel3x1(env *kernelEnv, part sched.Partition, observe func(reduce.Combo))
 	nbuf := make([]uint64, nm.Words())
 	var evaluated uint64
 
-	iu, ju, ku := combinat.LinearToTriple(part.Lo)
-	i, j, k := int(iu), int(ju), int(ku)
+	i, j, k := combinat.TripleCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		best := reduce.None
 		bitmat.AndWords(tbuf, aw, tm.Row(i))

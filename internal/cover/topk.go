@@ -37,13 +37,16 @@ func FindTopK(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, k i
 	if active == nil {
 		active = bitmat.AllOnes(tumor.Samples())
 	}
-	total := combinat.MustBinomial(g, uint64(opt.Hits))
+	total, ok := combinat.Binomial(g, uint64(opt.Hits))
+	if !ok {
+		return nil, fmt.Errorf("cover: C(%d, %d) overflows uint64", g, opt.Hits)
+	}
 	workers := opt.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if uint64(workers) > total {
-		workers = int(total)
+		workers = combinat.ToInt(total)
 	}
 
 	accs := make([]*reduce.TopK, workers)
@@ -83,7 +86,7 @@ func topKRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, ac
 	combo64 := combinat.Unrank(lo, h)
 	combo := make([]int, h)
 	for i, c := range combo64 {
-		combo[i] = int(c)
+		combo[i] = combinat.ToInt(c)
 	}
 
 	suft := make([][]uint64, h+1)

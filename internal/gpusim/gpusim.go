@@ -214,6 +214,7 @@ func straggler(index int) float64 {
 // Simulate runs the model for one job.
 func (d DeviceSpec) Simulate(job Job) Metrics {
 	if err := d.Validate(); err != nil {
+		//lint:allow panicfree job specs are validated by cluster.Workload.Validate before the hot loop; this guards direct misuse
 		panic(err)
 	}
 	var m Metrics
@@ -221,6 +222,7 @@ func (d DeviceSpec) Simulate(job Job) Metrics {
 		return m
 	}
 	if job.RowWords <= 0 {
+		//lint:allow panicfree validated upstream by cluster before the hot loop
 		panic("gpusim: Job.RowWords must be positive")
 	}
 	spread := 0.0
@@ -244,9 +246,11 @@ func (d DeviceSpec) Simulate(job Job) Metrics {
 	m.IdealSeconds = totalWords / rate
 
 	if job.Irregularity < 0 || job.Irregularity > 1 {
+		//lint:allow panicfree validated upstream by cluster before the hot loop
 		panic("gpusim: Job.Irregularity must be in [0, 1]")
 	}
 	if job.Irregularity > 0 && job.SpanCap <= 0 {
+		//lint:allow panicfree validated upstream by cluster before the hot loop
 		panic("gpusim: Job.SpanCap required when Irregularity > 0")
 	}
 	// Memory penalty: logarithmic in the inner-loop row span relative to

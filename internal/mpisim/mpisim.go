@@ -61,6 +61,7 @@ type World struct {
 // NewWorld creates a world with n ranks.
 func NewWorld(n int, p Params) *World {
 	if n <= 0 {
+		//lint:allow panicfree constructor assertion on a programmer-supplied constant, like make with a negative size
 		panic(fmt.Sprintf("mpisim: world size must be positive, got %d", n))
 	}
 	w := &World{
@@ -157,6 +158,7 @@ func (r *Rank) Size() int { return r.w.n }
 // Compute advances this rank's clock by a block of computation.
 func (r *Rank) Compute(seconds float64) {
 	if seconds < 0 {
+		//lint:allow panicfree models MPI_Abort: a malformed rank program tears down the world; World.Run recovers it into an error
 		panic("mpisim: negative compute time")
 	}
 	r.w.clock[r.id] += seconds
@@ -167,9 +169,11 @@ func (r *Rank) Compute(seconds float64) {
 // latency + bytes/bandwidth of virtual time.
 func (r *Rank) Send(to int, payload any, bytes int) {
 	if to < 0 || to >= r.w.n {
+		//lint:allow panicfree models MPI_Abort on an invalid peer; recovered by World.Run
 		panic(fmt.Sprintf("mpisim: send to invalid rank %d", to))
 	}
 	if to == r.id {
+		//lint:allow panicfree models MPI_Abort on self-send deadlock; recovered by World.Run
 		panic("mpisim: send to self")
 	}
 	cost := r.w.params.LatencySec
@@ -181,6 +185,7 @@ func (r *Rank) Send(to int, payload any, bytes int) {
 	select {
 	case r.w.inbox[to] <- message{from: r.id, payload: payload, bytes: bytes, arrival: r.w.clock[r.id]}:
 	case <-r.w.failed:
+		//lint:allow panicfree models MPI_Abort propagation from a failed peer; recovered by World.Run
 		panic(fmt.Sprintf("mpisim: rank %d aborted send to %d: a peer rank failed", r.id, to))
 	}
 }
@@ -192,6 +197,7 @@ func (r *Rank) Send(to int, payload any, bytes int) {
 // communication.
 func (r *Rank) Recv(from int) any {
 	if from < 0 || from >= r.w.n {
+		//lint:allow panicfree models MPI_Abort on an invalid peer; recovered by World.Run
 		panic(fmt.Sprintf("mpisim: recv from invalid rank %d", from))
 	}
 	msg, ok := r.takePending(from)
@@ -200,6 +206,7 @@ func (r *Rank) Recv(from int) any {
 		select {
 		case m = <-r.w.inbox[r.id]:
 		case <-r.w.failed:
+			//lint:allow panicfree models MPI_Abort propagation from a failed peer; recovered by World.Run
 			panic(fmt.Sprintf("mpisim: rank %d aborted recv from %d: a peer rank failed", r.id, from))
 		}
 		if m.from == from {
@@ -321,6 +328,7 @@ func (r *Rank) AllReduce(value any, bytes int, combine func(a, b any) any) any {
 func (r *Rank) Scatter(values []any, bytes int) any {
 	if r.id == 0 {
 		if len(values) != r.w.n {
+			//lint:allow panicfree models MPI_Abort on a malformed scatter; recovered by World.Run
 			panic(fmt.Sprintf("mpisim: Scatter needs %d values, got %d", r.w.n, len(values)))
 		}
 		for to := 1; to < r.w.n; to++ {

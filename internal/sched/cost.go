@@ -18,16 +18,16 @@ func UnitCost(work uint64) float64 { return float64(work) }
 // equal total modeled cost. Like EquiArea it exploits the level structure:
 // per-level cost is count × cost(work), so boundaries are found without a
 // per-thread scan.
-func EquiCost(c Curve, p int, cost CostModel) []Partition {
+func EquiCost(c Curve, p int, cost CostModel) ([]Partition, error) {
 	if p <= 0 {
-		panic("sched: partition count must be positive")
+		return nil, fmt.Errorf("sched: partition count must be positive, got %d", p)
 	}
 	if cost == nil {
-		panic("sched: nil cost model")
+		return nil, fmt.Errorf("sched: nil cost model")
 	}
 	lv, ok := c.(*levels)
 	if !ok {
-		panic(fmt.Sprintf("sched: EquiCost requires a level-table curve, got %T", c))
+		return nil, fmt.Errorf("sched: EquiCost requires a level-table curve, got %T", c)
 	}
 	// Float cumulative cost per level boundary.
 	cum := make([]float64, len(lv.work)+1)
@@ -52,7 +52,7 @@ func EquiCost(c Curve, p int, cost CostModel) []Partition {
 		parts[i] = Partition{Lo: lo, Hi: hi}
 		lo = hi
 	}
-	return parts
+	return parts, nil
 }
 
 // findCostPrefix returns the smallest λ whose cost prefix reaches target.
@@ -93,6 +93,7 @@ func findCostPrefix(lv *levels, cum []float64, cost CostModel, target float64) u
 func AnalyzeCost(c Curve, parts []Partition, cost CostModel) Stats {
 	lv, ok := c.(*levels)
 	if !ok {
+		//lint:allow panicfree programmer error: AnalyzeCost takes partitions already built by EquiCost, which rejected non-level curves
 		panic(fmt.Sprintf("sched: AnalyzeCost requires a level-table curve, got %T", c))
 	}
 	s := Stats{Min: ^uint64(0)}

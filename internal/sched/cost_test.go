@@ -10,8 +10,8 @@ func TestEquiCostUnitMatchesEquiArea(t *testing.T) {
 	for _, g := range []uint64{10, 50, 200} {
 		for _, p := range []int{3, 7, 30} {
 			c := NewTetra3x1(g)
-			ea := EquiArea(c, p)
-			ec := EquiCost(c, p, UnitCost)
+			ea := mustParts(t)(EquiArea(c, p))
+			ec := mustParts(t)(EquiCost(c, p, UnitCost))
 			for i := range ea {
 				// Boundaries may differ by the float-vs-integer target
 				// rounding, but at most by one thread of one level.
@@ -31,7 +31,7 @@ func TestEquiCostTiles(t *testing.T) {
 	}
 	for _, c := range []Curve{NewTetra3x1(60), NewTri2x2(60), NewLin1x3(60)} {
 		for _, p := range []int{1, 2, 13, 100} {
-			parts := EquiCost(c, p, cost)
+			parts := mustParts(t)(EquiCost(c, p, cost))
 			if len(parts) != p {
 				t.Fatalf("%s: %d parts, want %d", c.Name(), len(parts), p)
 			}
@@ -51,8 +51,8 @@ func TestEquiCostBalancesCostNotWork(t *testing.T) {
 		return float64(w) * (1 + 2*math.Log1p(float64(w))/math.Log1p(19700))
 	}
 	const p = 24
-	ea := AnalyzeCost(c, EquiArea(c, p), cost)
-	ec := AnalyzeCost(c, EquiCost(c, p, cost), cost)
+	ea := AnalyzeCost(c, mustParts(t)(EquiArea(c, p)), cost)
+	ec := AnalyzeCost(c, mustParts(t)(EquiCost(c, p, cost)), cost)
 	if ec.Imbalance >= ea.Imbalance {
 		t.Fatalf("EquiCost imbalance %.4f not better than EquiArea %.4f",
 			ec.Imbalance, ea.Imbalance)
@@ -61,34 +61,27 @@ func TestEquiCostBalancesCostNotWork(t *testing.T) {
 		t.Fatalf("EquiCost imbalance %.4f too high", ec.Imbalance)
 	}
 	// And the work split now deliberately deviates from equality.
-	workStats := Analyze(c, EquiCost(c, p, cost))
+	workStats := Analyze(c, mustParts(t)(EquiCost(c, p, cost)))
 	if workStats.Imbalance < 0.01 {
 		t.Fatalf("cost-aware split should trade work balance for cost balance, work imbalance %.4f",
 			workStats.Imbalance)
 	}
 }
 
-func TestEquiCostPanics(t *testing.T) {
+func TestEquiCostErrors(t *testing.T) {
 	c := NewTetra3x1(10)
-	for i, fn := range []func(){
-		func() { EquiCost(c, 0, UnitCost) },
-		func() { EquiCost(c, 3, nil) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
+	if _, err := EquiCost(c, 0, UnitCost); err == nil {
+		t.Error("zero partitions should error")
+	}
+	if _, err := EquiCost(c, 3, nil); err == nil {
+		t.Error("nil cost model should error")
 	}
 }
 
 func TestAnalyzeCostConservation(t *testing.T) {
 	c := NewTetra3x1(40)
 	cost := func(w uint64) float64 { return float64(w) + 1 }
-	parts := EquiCost(c, 9, cost)
+	parts := mustParts(t)(EquiCost(c, 9, cost))
 	s := AnalyzeCost(c, parts, cost)
 	var sum float64
 	for _, v := range s.PerPart {

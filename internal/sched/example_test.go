@@ -11,7 +11,10 @@ import (
 // magnitude.
 func ExampleEquiArea() {
 	curve := sched.NewTetra3x1(50) // the paper's Fig. 3 example, G = 50
-	parts := sched.EquiArea(curve, 5)
+	parts, err := sched.EquiArea(curve, 5)
+	if err != nil {
+		panic(err)
+	}
 	for i, p := range parts {
 		work := curve.PrefixWork(p.Hi) - curve.PrefixWork(p.Lo)
 		fmt.Printf("gpu %d: %5d threads, %d combinations\n", i, p.Size(), work)
@@ -28,7 +31,11 @@ func ExampleEquiArea() {
 // average work — the Fig. 3(a) imbalance.
 func ExampleEquiDistance() {
 	curve := sched.NewTetra3x1(50)
-	stats := sched.Analyze(curve, sched.EquiDistance(curve, 5))
+	parts, err := sched.EquiDistance(curve, 5)
+	if err != nil {
+		panic(err)
+	}
+	stats := sched.Analyze(curve, parts)
 	fmt.Printf("max/mean imbalance: %.2f\n", stats.Imbalance)
 	// Output:
 	// max/mean imbalance: 1.30

@@ -52,6 +52,7 @@ type levels struct {
 
 func newLevels(name string, start, work []uint64) *levels {
 	if len(start) != len(work)+1 {
+		//lint:allow panicfree internal invariant: the curve constructors below are the only callers
 		panic("sched: levels start/work length mismatch")
 	}
 	cum := make([]uint64, len(work)+1)
@@ -83,6 +84,7 @@ func (lv *levels) levelOf(lambda uint64) int {
 
 func (lv *levels) WorkAt(lambda uint64) uint64 {
 	if lambda >= lv.Threads() {
+		//lint:allow panicfree API contract like a slice bounds check; λ comes from a validated partition
 		panic(fmt.Sprintf("sched: thread %d out of domain %d", lambda, lv.Threads()))
 	}
 	return lv.work[lv.levelOf(lambda)]
@@ -133,6 +135,7 @@ func (lv *levels) findPrefix(target uint64) uint64 {
 // into the last level).
 func NewTetra3x1(g uint64) Curve {
 	if g < 4 {
+		//lint:allow panicfree startup assertion: gene counts are validated by the dataset loader before curves are built
 		panic(fmt.Sprintf("sched: 3x1 curve needs g ≥ 4, got %d", g))
 	}
 	var start, work []uint64
@@ -148,6 +151,7 @@ func NewTetra3x1(g uint64) Curve {
 // genes: C(g, 2) threads, thread (i, j) doing C(g−1−j, 2) combinations.
 func NewTri2x2(g uint64) Curve {
 	if g < 4 {
+		//lint:allow panicfree startup assertion: gene counts are validated by the dataset loader before curves are built
 		panic(fmt.Sprintf("sched: 2x2 curve needs g ≥ 4, got %d", g))
 	}
 	var start, work []uint64
@@ -163,6 +167,7 @@ func NewTri2x2(g uint64) Curve {
 // C(g, 2) threads, thread (i, j) doing g−1−j inner iterations.
 func NewTri2x1(g uint64) Curve {
 	if g < 3 {
+		//lint:allow panicfree startup assertion: gene counts are validated by the dataset loader before curves are built
 		panic(fmt.Sprintf("sched: 2x1 curve needs g ≥ 3, got %d", g))
 	}
 	var start, work []uint64
@@ -188,6 +193,7 @@ func NewFlat(n uint64) Curve {
 // ablation can show exactly how badly it partitions.
 func NewLin1x3(g uint64) Curve {
 	if g < 4 {
+		//lint:allow panicfree startup assertion: gene counts are validated by the dataset loader before curves are built
 		panic(fmt.Sprintf("sched: 1x3 curve needs g ≥ 4, got %d", g))
 	}
 	start := make([]uint64, g+1)
@@ -205,6 +211,7 @@ func NewLin1x3(g uint64) Curve {
 // iterations — the 3x1 structure one dimension up (see cover.Run5).
 func NewQuad4x1(g uint64) Curve {
 	if g < 5 {
+		//lint:allow panicfree startup assertion: gene counts are validated by the dataset loader before curves are built
 		panic(fmt.Sprintf("sched: 4x1 five-hit curve needs g ≥ 5, got %d", g))
 	}
 	var start, work []uint64
@@ -225,10 +232,12 @@ type Partition struct {
 func (p Partition) Size() uint64 { return p.Hi - p.Lo }
 
 // EquiDistance splits the curve's thread domain into p ranges of (nearly)
-// equal thread count — the naive scheduler of Fig. 3(a).
-func EquiDistance(c Curve, p int) []Partition {
+// equal thread count — the naive scheduler of Fig. 3(a). The partition count
+// is untrusted (it arrives from CLI flags and job specs), so an invalid
+// count is an error, not a panic.
+func EquiDistance(c Curve, p int) ([]Partition, error) {
 	if p <= 0 {
-		panic("sched: partition count must be positive")
+		return nil, fmt.Errorf("sched: partition count must be positive, got %d", p)
 	}
 	n := c.Threads()
 	parts := make([]Partition, p)
@@ -238,15 +247,15 @@ func EquiDistance(c Curve, p int) []Partition {
 		parts[i] = Partition{Lo: lo, Hi: hi}
 		lo = hi
 	}
-	return parts
+	return parts, nil
 }
 
 // EquiArea splits the curve's thread domain into p ranges of (nearly) equal
 // total work — the paper's scheduler of Fig. 3(b). Boundaries are located
 // with the level table in O(p log G); no per-thread scan occurs.
-func EquiArea(c Curve, p int) []Partition {
+func EquiArea(c Curve, p int) ([]Partition, error) {
 	if p <= 0 {
-		panic("sched: partition count must be positive")
+		return nil, fmt.Errorf("sched: partition count must be positive, got %d", p)
 	}
 	lv, ok := c.(*levels)
 	if !ok {
@@ -274,7 +283,7 @@ func EquiArea(c Curve, p int) []Partition {
 		parts[i] = Partition{Lo: lo, Hi: hi}
 		lo = hi
 	}
-	return parts
+	return parts, nil
 }
 
 // NaiveEquiArea computes the equi-area split by scanning every thread and
@@ -282,13 +291,13 @@ func EquiArea(c Curve, p int) []Partition {
 // approach the paper rejects ("takes tens of hours ... using a single
 // node"). It exists as the E14 baseline and for differential testing; it is
 // O(Threads) and only usable at small G.
-func NaiveEquiArea(c Curve, p int) []Partition {
+func NaiveEquiArea(c Curve, p int) ([]Partition, error) {
 	return naiveEquiArea(c, p)
 }
 
-func naiveEquiArea(c Curve, p int) []Partition {
+func naiveEquiArea(c Curve, p int) ([]Partition, error) {
 	if p <= 0 {
-		panic("sched: partition count must be positive")
+		return nil, fmt.Errorf("sched: partition count must be positive, got %d", p)
 	}
 	total := c.TotalWork()
 	parts := make([]Partition, 0, p)
@@ -312,7 +321,7 @@ func naiveEquiArea(c Curve, p int) []Partition {
 		parts = append(parts, Partition{Lo: lo, Hi: lo})
 	}
 	parts = append(parts, Partition{Lo: lo, Hi: n})
-	return parts
+	return parts, nil
 }
 
 // Stats summarizes the work balance of a partitioning.

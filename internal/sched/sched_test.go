@@ -112,10 +112,22 @@ func TestPrefixWorkProperty(t *testing.T) {
 	}
 }
 
+// mustParts unwraps a partitioner result, failing the test on error. It is
+// curried so a multi-value call can be passed directly: mustParts(t)(EquiArea(c, p)).
+func mustParts(tb testing.TB) func([]Partition, error) []Partition {
+	return func(parts []Partition, err error) []Partition {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return parts
+	}
+}
+
 func TestEquiDistanceTiles(t *testing.T) {
 	c := NewTetra3x1(50)
 	for _, p := range []int{1, 2, 7, 30, 100} {
-		parts := EquiDistance(c, p)
+		parts := mustParts(t)(EquiDistance(c, p))
 		if len(parts) != p {
 			t.Fatalf("ED gave %d parts, want %d", len(parts), p)
 		}
@@ -128,7 +140,7 @@ func TestEquiDistanceTiles(t *testing.T) {
 func TestEquiAreaTiles(t *testing.T) {
 	for _, c := range []Curve{NewTetra3x1(50), NewTri2x2(50), NewTri2x1(50), NewFlat(1000)} {
 		for _, p := range []int{1, 2, 7, 30, 100} {
-			parts := EquiArea(c, p)
+			parts := mustParts(t)(EquiArea(c, p))
 			if len(parts) != p {
 				t.Fatalf("%s EA gave %d parts, want %d", c.Name(), len(parts), p)
 			}
@@ -145,8 +157,8 @@ func TestEquiAreaMatchesNaive(t *testing.T) {
 	for _, g := range []uint64{10, 17, 50} {
 		for _, p := range []int{2, 5, 30} {
 			c := NewTetra3x1(g)
-			fast := EquiArea(c, p)
-			slow := NaiveEquiArea(c, p)
+			fast := mustParts(t)(EquiArea(c, p))
+			slow := mustParts(t)(NaiveEquiArea(c, p))
 			for i := range fast {
 				if fast[i] != slow[i] {
 					t.Fatalf("G=%d P=%d part %d: fast %+v != naive %+v",
@@ -161,8 +173,8 @@ func TestEquiAreaBeatsEquiDistance(t *testing.T) {
 	// Fig. 3: for the paper's example (G=50, 30 GPUs) the EA imbalance must
 	// be dramatically lower than ED's.
 	c := NewTetra3x1(50)
-	ed := Analyze(c, EquiDistance(c, 30))
-	ea := Analyze(c, EquiArea(c, 30))
+	ed := Analyze(c, mustParts(t)(EquiDistance(c, 30)))
+	ea := Analyze(c, mustParts(t)(EquiArea(c, 30)))
 	if ea.Imbalance > 0.5 {
 		t.Fatalf("EA imbalance %.3f — should be near zero", ea.Imbalance)
 	}
@@ -176,7 +188,7 @@ func TestEquiAreaPaperScale(t *testing.T) {
 	// fast (this whole test runs in well under a second) and balance to
 	// within a fraction of a percent.
 	c := NewTetra3x1(19411)
-	parts := EquiArea(c, 6000)
+	parts := mustParts(t)(EquiArea(c, 6000))
 	if err := Validate(c, parts); err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +200,7 @@ func TestEquiAreaPaperScale(t *testing.T) {
 
 func TestAnalyzeConservation(t *testing.T) {
 	c := NewTri2x2(40)
-	for _, parts := range [][]Partition{EquiDistance(c, 13), EquiArea(c, 13)} {
+	for _, parts := range [][]Partition{mustParts(t)(EquiDistance(c, 13)), mustParts(t)(EquiArea(c, 13))} {
 		s := Analyze(c, parts)
 		var sum uint64
 		for _, w := range s.PerPart {
@@ -221,11 +233,11 @@ func TestValidateCatchesGapsAndOverlaps(t *testing.T) {
 
 func TestMorePartsThanThreads(t *testing.T) {
 	c := NewFlat(3)
-	parts := EquiArea(c, 10)
+	parts := mustParts(t)(EquiArea(c, 10))
 	if err := Validate(c, parts); err != nil {
 		t.Fatal(err)
 	}
-	parts = EquiDistance(c, 10)
+	parts = mustParts(t)(EquiDistance(c, 10))
 	if err := Validate(c, parts); err != nil {
 		t.Fatal(err)
 	}
@@ -236,8 +248,6 @@ func TestCurvePanics(t *testing.T) {
 		func() { NewTetra3x1(3) },
 		func() { NewTri2x2(2) },
 		func() { NewTri2x1(2) },
-		func() { EquiArea(NewFlat(5), 0) },
-		func() { EquiDistance(NewFlat(5), -1) },
 		func() { NewFlat(5).WorkAt(5) },
 	} {
 		func() {
@@ -251,11 +261,24 @@ func TestCurvePanics(t *testing.T) {
 	}
 }
 
+func TestPartitionerErrors(t *testing.T) {
+	// Bad partition counts come from untrusted flags: errors, not panics.
+	if _, err := EquiArea(NewFlat(5), 0); err == nil {
+		t.Error("EquiArea with 0 partitions should error")
+	}
+	if _, err := EquiDistance(NewFlat(5), -1); err == nil {
+		t.Error("EquiDistance with -1 partitions should error")
+	}
+	if _, err := NaiveEquiArea(NewFlat(5), 0); err == nil {
+		t.Error("NaiveEquiArea with 0 partitions should error")
+	}
+}
+
 func BenchmarkEquiAreaPaperScale(b *testing.B) {
 	// E14: schedule computation cost at G = 19411, 6000 GPUs.
 	for n := 0; n < b.N; n++ {
 		c := NewTetra3x1(19411)
-		parts := EquiArea(c, 6000)
+		parts := mustParts(b)(EquiArea(c, 6000))
 		if len(parts) != 6000 {
 			b.Fatal("bad partition count")
 		}
@@ -267,7 +290,7 @@ func BenchmarkNaiveEquiAreaSmall(b *testing.B) {
 	c := NewTetra3x1(300)
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		NaiveEquiArea(c, 30)
+		mustParts(b)(NaiveEquiArea(c, 30))
 	}
 }
 

@@ -16,23 +16,32 @@ type TwoLevel struct {
 	PerNode [][]Partition
 }
 
-// NewTwoLevel builds the hierarchical equi-area schedule.
-func NewTwoLevel(c Curve, nodes, gpusPerNode int) TwoLevel {
+// NewTwoLevel builds the hierarchical equi-area schedule. Node and GPU
+// counts arrive from job specs and CLI flags, so invalid counts are errors.
+func NewTwoLevel(c Curve, nodes, gpusPerNode int) (TwoLevel, error) {
 	if nodes <= 0 || gpusPerNode <= 0 {
-		panic(fmt.Sprintf("sched: TwoLevel needs positive counts, got %d×%d", nodes, gpusPerNode))
+		return TwoLevel{}, fmt.Errorf("sched: TwoLevel needs positive counts, got %d×%d", nodes, gpusPerNode)
 	}
-	tl := TwoLevel{Nodes: EquiArea(c, nodes)}
+	nodeParts, err := EquiArea(c, nodes)
+	if err != nil {
+		return TwoLevel{}, err
+	}
+	tl := TwoLevel{Nodes: nodeParts}
 	for _, np := range tl.Nodes {
-		tl.PerNode = append(tl.PerNode, equiAreaWithin(c, np, gpusPerNode))
+		sub, err := equiAreaWithin(c, np, gpusPerNode)
+		if err != nil {
+			return TwoLevel{}, err
+		}
+		tl.PerNode = append(tl.PerNode, sub)
 	}
-	return tl
+	return tl, nil
 }
 
 // equiAreaWithin splits one partition's range into p equal-work pieces.
-func equiAreaWithin(c Curve, span Partition, p int) []Partition {
+func equiAreaWithin(c Curve, span Partition, p int) ([]Partition, error) {
 	lv, ok := c.(*levels)
 	if !ok {
-		panic(fmt.Sprintf("sched: TwoLevel requires a level-table curve, got %T", c))
+		return nil, fmt.Errorf("sched: TwoLevel requires a level-table curve, got %T", c)
 	}
 	base := lv.PrefixWork(span.Lo)
 	total := lv.PrefixWork(span.Hi) - base
@@ -58,7 +67,7 @@ func equiAreaWithin(c Curve, span Partition, p int) []Partition {
 		parts[i] = Partition{Lo: lo, Hi: hi}
 		lo = hi
 	}
-	return parts
+	return parts, nil
 }
 
 // Flatten returns the GPU-level partitions in global device order.

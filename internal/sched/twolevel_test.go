@@ -9,7 +9,10 @@ import (
 func TestTwoLevelTilesBothLevels(t *testing.T) {
 	for _, g := range []uint64{20, 50, 200} {
 		c := NewTetra3x1(g)
-		tl := NewTwoLevel(c, 5, 6)
+		tl, err := NewTwoLevel(c, 5, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := tl.Validate(c); err != nil {
 			t.Fatalf("G=%d: %v", g, err)
 		}
@@ -27,8 +30,11 @@ func TestTwoLevelBalancesLikeFlat(t *testing.T) {
 	// The hierarchical cut's device-level balance should be comparable to
 	// a flat equi-area cut over the same device count.
 	c := NewTetra3x1(19411)
-	tl := NewTwoLevel(c, 100, 6)
-	flat := Analyze(c, EquiArea(c, 600))
+	tl, err := NewTwoLevel(c, 100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := Analyze(c, mustParts(t)(EquiArea(c, 600)))
 	hier := Analyze(c, tl.Flatten())
 	if hier.Imbalance > 5*flat.Imbalance+0.01 {
 		t.Fatalf("hierarchical imbalance %.5f vs flat %.5f", hier.Imbalance, flat.Imbalance)
@@ -48,26 +54,22 @@ func TestTwoLevelBalancesLikeFlat(t *testing.T) {
 	}
 }
 
-func TestTwoLevelPanics(t *testing.T) {
+func TestTwoLevelErrors(t *testing.T) {
 	c := NewTetra3x1(10)
-	for i, fn := range []func(){
-		func() { NewTwoLevel(c, 0, 6) },
-		func() { NewTwoLevel(c, 3, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
+	if _, err := NewTwoLevel(c, 0, 6); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := NewTwoLevel(c, 3, 0); err == nil {
+		t.Error("zero GPUs per node should error")
 	}
 }
 
 func TestTwoLevelMoreDevicesThanThreads(t *testing.T) {
 	c := NewFlat(4)
-	tl := NewTwoLevel(c, 3, 2)
+	tl, err := NewTwoLevel(c, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := tl.Validate(c); err != nil {
 		t.Fatal(err)
 	}
