@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench reports examples clean
+.PHONY: all build vet lint test race bench reports examples faults clean
 
 all: build vet lint test
 
@@ -36,6 +36,11 @@ examples:
 	$(GO) run ./examples/panelclassifier
 	$(GO) run ./examples/mutationlevel
 	$(GO) run ./examples/maffiles
+
+# Seeded fault-injection campaign on a small fixture (see docs/FAULTS.md).
+faults:
+	$(GO) run ./cmd/simscale -mode campaign -nodes 8 -faults -fault-policy restart \
+		-fault-seed 1 -fault-mtbf-hours 24 -fault-stragglers 0.02 -checkpoint-every 3
 
 clean:
 	$(GO) clean ./...

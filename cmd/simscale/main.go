@@ -8,6 +8,8 @@
 //	simscale -mode strong -nodes 100,200,500,1000
 //	simscale -mode weak -nodes 100,300,500
 //	simscale -mode run -nodes 100 -scheme 2x2 -cancer ACC -profile
+//	simscale -mode run -nodes 100 -faults -fault-mtbf-hours 2 -checkpoint-every 3
+//	simscale -mode campaign -nodes 8 -faults -fault-policy degrade
 package main
 
 import (
@@ -32,7 +34,35 @@ func main() {
 	scheduler := flag.String("scheduler", "EA", "EA or ED")
 	iterations := flag.Int("iterations", 0, "override cover-loop iterations (0 = workload default)")
 	profile := flag.Bool("profile", false, "print per-GPU utilization and rank ledger for -mode run")
+	faults := flag.Bool("faults", false, "inject faults and price recovery (run and campaign modes, see docs/FAULTS.md)")
+	faultPolicy := flag.String("fault-policy", "restart", "recovery policy: restart or degrade")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for sampled failures and straggler selection")
+	faultMTBF := flag.Float64("fault-mtbf-hours", 1.0, "per-node mean time between failures in hours (0 disables sampled deaths)")
+	faultStragglers := flag.Float64("fault-stragglers", 0.02, "fraction of GPUs injected as stragglers")
+	faultSlowdown := flag.Float64("fault-straggler-slowdown", 2.0, "busy-time multiplier for injected stragglers")
+	checkpointEvery := flag.Int("checkpoint-every", 3, "checkpoint cadence in iterations (0 = none)")
 	flag.Parse()
+
+	var plan *cluster.FaultPlan
+	if *faults {
+		plan = &cluster.FaultPlan{
+			Seed:              *faultSeed,
+			MTBFSec:           *faultMTBF * 3600,
+			StragglerFrac:     *faultStragglers,
+			StragglerFactor:   *faultSlowdown,
+			CheckpointEvery:   *checkpointEvery,
+			CheckpointCostSec: 1.0,
+			RescheduleSec:     10.0,
+		}
+		switch *faultPolicy {
+		case "restart":
+			plan.Policy = cluster.PolicyRestart
+		case "degrade":
+			plan.Policy = cluster.PolicyDegrade
+		default:
+			fatal(fmt.Errorf("unknown fault policy %q", *faultPolicy))
+		}
+	}
 
 	var scheme cover.Scheme
 	switch *schemeFlag {
@@ -67,6 +97,10 @@ func main() {
 		fatal(err)
 	}
 
+	if plan != nil && *mode != "run" && *mode != "campaign" {
+		fatal(fmt.Errorf("-faults applies to run and campaign modes, not %q", *mode))
+	}
+
 	switch *mode {
 	case "strong":
 		pts, err := cluster.StrongScaling(w, nodes)
@@ -81,12 +115,21 @@ func main() {
 		}
 		printPoints("Weak scaling (first iteration)", w, pts)
 	case "run":
-		rep, err := cluster.Simulate(cluster.Summit(nodes[0]), w)
+		var rep *cluster.Report
+		var err error
+		if plan != nil {
+			rep, err = cluster.SimulateFaults(cluster.Summit(nodes[0]), w, *plan)
+		} else {
+			rep, err = cluster.Simulate(cluster.Summit(nodes[0]), w)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s %s %s on %d nodes (%d GPUs): runtime %.1f s\n",
 			*cancer, w.Scheme, w.Scheduler, nodes[0], nodes[0]*6, rep.RuntimeSec)
+		if rep.Recovery != nil {
+			fmt.Print("\n" + recoveryText(rep.Recovery))
+		}
 		if *profile {
 			fmt.Println()
 			fmt.Print(report.Series{Title: "Per-GPU utilization", XLabel: "gpu",
@@ -105,16 +148,33 @@ func main() {
 		rep, err := cluster.RunCampaign(cluster.Campaign{
 			Nodes:  nodes[0],
 			Scheme: scheme,
+			Faults: plan,
 		}, dataset.FourHitCancers())
 		if err != nil {
 			fatal(err)
 		}
-		t := report.NewTable(fmt.Sprintf("11-cancer campaign, %d nodes per job", nodes[0]),
-			"cancer", "runtime (s)", "node-hours")
-		for _, j := range rep.Jobs {
-			t.Addf(j.Cancer, j.RuntimeSec, j.NodeHours)
+		if plan == nil {
+			t := report.NewTable(fmt.Sprintf("11-cancer campaign, %d nodes per job", nodes[0]),
+				"cancer", "runtime (s)", "node-hours")
+			for _, j := range rep.Jobs {
+				t.Addf(j.Cancer, j.RuntimeSec, j.NodeHours)
+			}
+			fmt.Print(t.String())
+		} else {
+			t := report.NewTable(
+				fmt.Sprintf("11-cancer campaign with faults (%s policy), %d nodes per job",
+					plan.Policy, nodes[0]),
+				"cancer", "runtime (s)", "node-hours", "failures", "ckpts", "overhead (s)")
+			for _, j := range rep.Jobs {
+				t.Addf(j.Cancer, j.RuntimeSec, j.NodeHours,
+					j.Recovery.FailuresInjected, j.Recovery.CheckpointsTaken,
+					j.Recovery.OverheadSec)
+			}
+			fmt.Print(t.String())
+			fmt.Printf("failures %d, recovery overhead %.0f s (%.1f%% of fault-free time)\n",
+				rep.TotalFailures, rep.TotalOverheadSec,
+				100*rep.TotalOverheadSec/(rep.TotalSec-rep.TotalOverheadSec))
 		}
-		fmt.Print(t.String())
 		fmt.Printf("total %.0f s, %.0f node-hours\n", rep.TotalSec, rep.TotalNodeHours)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
@@ -141,6 +201,24 @@ func printPoints(title string, w cluster.Workload, pts []cluster.ScalingPoint) {
 		table.Addf(p.Nodes, p.Nodes*6, p.RuntimeSec, p.Efficiency)
 	}
 	fmt.Print(table.String())
+}
+
+func recoveryText(rec *cluster.Recovery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recovery (%s policy):\n", rec.Policy)
+	fmt.Fprintf(&b, "  failures injected    %d\n", rec.FailuresInjected)
+	for _, f := range rec.Failures {
+		fmt.Fprintf(&b, "    rank %d died at %.1f s\n", f.Rank, f.AtSec)
+	}
+	fmt.Fprintf(&b, "  stragglers injected  %d\n", rec.StragglersInjected)
+	fmt.Fprintf(&b, "  checkpoints taken    %d (%.1f s)\n", rec.CheckpointsTaken, rec.CheckpointCostSec)
+	fmt.Fprintf(&b, "  recomputed           %d iterations (%.1f s)\n",
+		rec.RecomputedIterations, rec.RecomputedWorkSec)
+	fmt.Fprintf(&b, "  restarts / makeups   %d / %d\n", rec.RestartCount, rec.MakeupPasses)
+	fmt.Fprintf(&b, "  surviving ranks      %d\n", rec.SurvivingRanks)
+	fmt.Fprintf(&b, "  fault-free runtime   %.1f s\n", rec.FaultFreeRuntimeSec)
+	fmt.Fprintf(&b, "  overhead             %.1f s\n", rec.OverheadSec)
+	return b.String()
 }
 
 func fatal(err error) {

@@ -21,6 +21,11 @@ type Campaign struct {
 	// Iterations models each cancer type's cover-loop length; 0 uses a
 	// size-scaled default.
 	Iterations int
+	// Faults, when non-nil, runs every job through the fault injector and
+	// the plan's recovery policy. Each job derives its own sub-seed from
+	// Faults.Seed and its position so failures land differently per job
+	// but the whole campaign stays reproducible.
+	Faults *FaultPlan
 }
 
 // CampaignJob is one cancer type's priced run.
@@ -35,6 +40,9 @@ type CampaignJob struct {
 	RuntimeSec float64
 	// NodeHours is RuntimeSec × Nodes in hours.
 	NodeHours float64
+	// Recovery carries the job's fault/recovery accounting; nil when the
+	// campaign ran fault-free.
+	Recovery *Recovery
 }
 
 // CampaignReport is the full panel study's cost.
@@ -45,6 +53,10 @@ type CampaignReport struct {
 	TotalSec float64
 	// TotalNodeHours is the allocation cost.
 	TotalNodeHours float64
+	// TotalOverheadSec and TotalFailures aggregate the per-job recovery
+	// sections; both zero for fault-free campaigns.
+	TotalOverheadSec float64
+	TotalFailures    int
 }
 
 // RunCampaign prices the panel on the machine. Workload iteration counts
@@ -61,8 +73,13 @@ func RunCampaign(c Campaign, specs []dataset.Spec) (*CampaignReport, error) {
 	if scheme == cover.SchemeAuto {
 		scheme = cover.Scheme3x1
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Nodes); err != nil {
+			return nil, err
+		}
+	}
 	rep := &CampaignReport{}
-	for _, s := range specs {
+	for jobIdx, s := range specs {
 		iters := c.Iterations
 		if iters == 0 {
 			// Roughly one combination per 40 tumor samples, at least 6.
@@ -76,7 +93,15 @@ func RunCampaign(c Campaign, specs []dataset.Spec) (*CampaignReport, error) {
 			Iterations:    iters,
 			SpliceShrink:  0.45,
 		}
-		run, err := Simulate(Summit(c.Nodes), w)
+		var run *Report
+		var err error
+		if c.Faults != nil {
+			plan := *c.Faults
+			plan.Seed = c.Faults.Seed + uint64(jobIdx)
+			run, err = SimulateFaults(Summit(c.Nodes), w, plan)
+		} else {
+			run, err = Simulate(Summit(c.Nodes), w)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("cluster: campaign job %s: %w", s.Code, err)
 		}
@@ -87,10 +112,15 @@ func RunCampaign(c Campaign, specs []dataset.Spec) (*CampaignReport, error) {
 			NormalSamples: s.NormalSamples,
 			RuntimeSec:    run.RuntimeSec,
 			NodeHours:     run.RuntimeSec * float64(c.Nodes) / 3600,
+			Recovery:      run.Recovery,
 		}
 		rep.Jobs = append(rep.Jobs, job)
 		rep.TotalSec += job.RuntimeSec
 		rep.TotalNodeHours += job.NodeHours
+		if run.Recovery != nil {
+			rep.TotalOverheadSec += run.Recovery.OverheadSec
+			rep.TotalFailures += run.Recovery.FailuresInjected
+		}
 	}
 	return rep, nil
 }

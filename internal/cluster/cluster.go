@@ -256,13 +256,34 @@ func (w Workload) costModel(d gpusim.DeviceSpec) sched.CostModel {
 // partitions cuts the curve for the machine according to the workload's
 // scheduler configuration.
 func (w Workload) partitions(curve sched.Curve, spec Spec) ([]sched.Partition, error) {
+	return w.partitionsN(curve, spec.Device, spec.GPUs())
+}
+
+// partitionsN cuts the curve for an arbitrary GPU count — the machine may
+// be degraded below its nominal size after a rank failure (see faults.go).
+func (w Workload) partitionsN(curve sched.Curve, d gpusim.DeviceSpec, gpus int) ([]sched.Partition, error) {
 	switch {
 	case w.Scheduler == cover.EquiDistance:
-		return sched.EquiDistance(curve, spec.GPUs())
+		return sched.EquiDistance(curve, gpus)
 	case w.LatencyAware:
-		return sched.EquiCost(curve, spec.GPUs(), w.costModel(spec.Device))
+		return sched.EquiCost(curve, gpus, w.costModel(d))
 	default:
-		return sched.EquiArea(curve, spec.GPUs())
+		return sched.EquiArea(curve, gpus)
+	}
+}
+
+// jobFor builds the device-model job for one partition. extraSlowdown is
+// the fault injector's straggler inflation (0 when disabled).
+func (w Workload) jobFor(curve sched.Curve, part sched.Partition, rowWords, device int, extraSlowdown float64) gpusim.Job {
+	return gpusim.Job{
+		Threads:       part.Size(),
+		Combos:        curve.PrefixWork(part.Hi) - curve.PrefixWork(part.Lo),
+		RowWords:      rowWords,
+		PrefetchRows:  w.prefetchRows(),
+		Irregularity:  w.irregularity(),
+		SpanCap:       w.spanCap(),
+		DeviceIndex:   device,
+		ExtraSlowdown: extraSlowdown,
 	}
 }
 
@@ -317,6 +338,9 @@ type Report struct {
 	// Iterations is the per-iteration timeline: BitSplicing makes later
 	// iterations cheaper as covered samples leave the matrices.
 	Iterations []IterationReport
+	// Recovery reports the fault-injection and recovery accounting; nil for
+	// fault-free runs (see SimulateFaults).
+	Recovery *Recovery
 }
 
 // Simulate prices a full run of the workload on the machine.
@@ -340,9 +364,6 @@ func Simulate(spec Spec, w Workload) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	prefetch := w.prefetchRows()
-	irr := w.irregularity()
-	cap := w.spanCap()
 
 	tumorLeft := w.TumorSamples
 	for iter := 0; iter < w.Iterations; iter++ {
@@ -354,17 +375,7 @@ func Simulate(spec Spec, w Workload) (*Report, error) {
 		// Devices are independent; price them on all cores. Results land
 		// in index-addressed slices, so the output stays deterministic.
 		parallelFor(gpus, func(g int) {
-			part := parts[g]
-			job := gpusim.Job{
-				Threads:      part.Size(),
-				Combos:       curve.PrefixWork(part.Hi) - curve.PrefixWork(part.Lo),
-				RowWords:     rowWords,
-				PrefetchRows: prefetch,
-				Irregularity: irr,
-				SpanCap:      cap,
-				DeviceIndex:  g,
-			}
-			m := spec.Device.Simulate(job)
+			m := spec.Device.Simulate(w.jobFor(curve, parts[g], rowWords, g, 0))
 			busy[g] = m.BusySeconds
 			if iter == 0 {
 				rep.GPUMetrics[g] = m

@@ -25,6 +25,40 @@ type DiscoverResult struct {
 	VirtualSeconds float64
 	// Ranks is the per-rank compute/communication ledger.
 	Ranks []RankReport
+	// Recovery reports fault-injection and recovery accounting; nil for
+	// fault-free runs (see DiscoverFaults).
+	Recovery *Recovery
+}
+
+// discoverPerNode builds the hierarchical λ-domain schedule for a machine
+// of nodes ranks × gpn GPUs: ranks split the domain, then each rank splits
+// its share across its GPUs (Fig. 1). Under equi-distance both levels
+// split by thread count; otherwise both levels split equi-area.
+func discoverPerNode(curve sched.Curve, scheduler cover.Scheduler, nodes, gpn int) ([][]sched.Partition, error) {
+	if scheduler == cover.EquiDistance {
+		nodeParts, err := sched.EquiDistance(curve, nodes)
+		if err != nil {
+			return nil, err
+		}
+		var perNode [][]sched.Partition
+		for _, np := range nodeParts {
+			sub, err := sched.EquiDistance(sched.NewFlat(np.Size()), gpn)
+			if err != nil {
+				return nil, err
+			}
+			var shifted []sched.Partition
+			for _, p := range sub {
+				shifted = append(shifted, sched.Partition{Lo: np.Lo + p.Lo, Hi: np.Lo + p.Hi})
+			}
+			perNode = append(perNode, shifted)
+		}
+		return perNode, nil
+	}
+	tl, err := sched.NewTwoLevel(curve, nodes, gpn)
+	if err != nil {
+		return nil, err
+	}
+	return tl.PerNode, nil
 }
 
 // Discover runs the full greedy cover distributed across the simulated
@@ -78,32 +112,10 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 	if err != nil {
 		return nil, err
 	}
-	// Hierarchical schedule, as on the real machine: ranks split the
-	// domain equi-area, then each rank splits its share across its GPUs
-	// (Fig. 1). Under equi-distance both levels split by thread count.
-	var perNode [][]sched.Partition
-	if opt.Scheduler == cover.EquiDistance {
-		nodeParts, err := sched.EquiDistance(curve, spec.Nodes)
-		if err != nil {
-			return nil, err
-		}
-		for _, np := range nodeParts {
-			sub, err := sched.EquiDistance(sched.NewFlat(np.Size()), spec.GPUsPerNode)
-			if err != nil {
-				return nil, err
-			}
-			var shifted []sched.Partition
-			for _, p := range sub {
-				shifted = append(shifted, sched.Partition{Lo: np.Lo + p.Lo, Hi: np.Lo + p.Hi})
-			}
-			perNode = append(perNode, shifted)
-		}
-	} else {
-		tl, err := sched.NewTwoLevel(curve, spec.Nodes, spec.GPUsPerNode)
-		if err != nil {
-			return nil, err
-		}
-		perNode = tl.PerNode
+	// Hierarchical schedule, as on the real machine.
+	perNode, err := discoverPerNode(curve, opt.Scheduler, spec.Nodes, spec.GPUsPerNode)
+	if err != nil {
+		return nil, err
 	}
 	rowWords := w.words(tumor.Samples())
 	prefetch := w.prefetchRows()

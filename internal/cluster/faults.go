@@ -1,0 +1,562 @@
+package cluster
+
+// Fault injection and recovery for the simulated cluster (docs/FAULTS.md).
+//
+// The paper's production runs occupy thousands of Summit GPUs for hours
+// (Sec. IV) — a regime where node failures and stragglers are routine. This
+// file models both and prices two recovery policies against them:
+//
+//   - PolicyRestart aborts the job at the failure, books the wasted time
+//     plus a fresh StartupSec, and resumes from the latest checkpoint
+//     boundary (FaultPlan.CheckpointEvery iterations apart), recomputing
+//     the iterations since.
+//   - PolicyDegrade drops the dead rank, re-runs the equi-area scheduler
+//     over the λ-range the dead rank owned across the surviving ranks'
+//     GPUs (a "makeup pass", sched.EquiAreaRange), and continues the
+//     remaining iterations on the shrunken machine.
+//
+// Failures are deterministic: explicit (rank, virtual time) pairs and/or
+// per-rank exponential lifetimes hashed from FaultPlan.Seed. Straggler
+// devices are selected by the same seeded hash and inflated through
+// gpusim.Job.ExtraSlowdown. Same plan, same spec, same workload → an
+// identical Report, which the tests pin.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gpusim"
+	"repro/internal/mpisim"
+	"repro/internal/reduce"
+	"repro/internal/sched"
+)
+
+// RecoveryPolicy selects how a run reacts to a rank failure.
+type RecoveryPolicy int
+
+const (
+	// PolicyRestart aborts and restarts the whole job from the latest
+	// checkpoint on the full allocation.
+	PolicyRestart RecoveryPolicy = iota
+	// PolicyDegrade continues on the surviving ranks, re-partitioning the
+	// dead rank's λ-range across them.
+	PolicyDegrade
+)
+
+// String names the policy for reports and flags.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case PolicyRestart:
+		return "restart"
+	case PolicyDegrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("RecoveryPolicy(%d)", int(p))
+}
+
+// RankFailure is one injected node death: the machine rank (0-based
+// physical node index) and the virtual time of death, measured from the
+// end of startup.
+type RankFailure struct {
+	Rank  int
+	AtSec float64
+}
+
+// FaultPlan configures the fault injector and the recovery policy.
+type FaultPlan struct {
+	// Seed drives every sampled quantity (lifetimes, straggler selection).
+	Seed uint64
+	// Failures are explicit deaths, in addition to any MTBF-sampled ones.
+	Failures []RankFailure
+	// MTBFSec, when positive, samples one exponential lifetime per rank
+	// with this mean; ranks whose lifetime falls inside the run die.
+	MTBFSec float64
+	// StragglerFrac is the probability that a GPU is an injected straggler;
+	// StragglerFactor is the busy-time multiplier applied to those devices
+	// (via gpusim.Job.ExtraSlowdown). Frac 0 disables.
+	StragglerFrac   float64
+	StragglerFactor float64
+	// Policy selects the recovery strategy.
+	Policy RecoveryPolicy
+	// CheckpointEvery is the checkpoint cadence in completed iterations;
+	// 0 means no checkpoints (PolicyRestart then restarts from scratch).
+	CheckpointEvery int
+	// CheckpointCostSec is the virtual time each checkpoint adds to the
+	// iteration that takes it.
+	CheckpointCostSec float64
+	// RescheduleSec is the fixed cost of reconfiguring after a failure
+	// under PolicyDegrade (failure detection, schedule recomputation,
+	// communicator rebuild).
+	RescheduleSec float64
+}
+
+// Validate reports the first problem with the plan, given the machine size.
+func (p FaultPlan) Validate(nodes int) error {
+	switch {
+	case p.MTBFSec < 0:
+		return fmt.Errorf("cluster: MTBFSec must be non-negative")
+	case p.StragglerFrac < 0 || p.StragglerFrac > 1:
+		return fmt.Errorf("cluster: StragglerFrac must be in [0, 1]")
+	case p.StragglerFrac > 0 && p.StragglerFactor < 1:
+		return fmt.Errorf("cluster: StragglerFactor must be ≥ 1 when StragglerFrac > 0")
+	case p.CheckpointEvery < 0:
+		return fmt.Errorf("cluster: CheckpointEvery must be non-negative")
+	case p.CheckpointCostSec < 0 || p.RescheduleSec < 0:
+		return fmt.Errorf("cluster: recovery costs must be non-negative")
+	}
+	switch p.Policy {
+	case PolicyRestart, PolicyDegrade:
+	default:
+		return fmt.Errorf("cluster: unknown recovery policy %v", p.Policy)
+	}
+	for i, f := range p.Failures {
+		if f.Rank < 0 || f.Rank >= nodes {
+			return fmt.Errorf("cluster: failure %d targets rank %d of %d", i, f.Rank, nodes)
+		}
+		if f.AtSec < 0 {
+			return fmt.Errorf("cluster: failure %d at negative time %g", i, f.AtSec)
+		}
+	}
+	return nil
+}
+
+// Recovery is the fault/recovery section of a Report.
+type Recovery struct {
+	// Policy echoes the plan.
+	Policy RecoveryPolicy
+	// FailuresInjected is the number of rank deaths that fired; Failures
+	// lists them with absolute virtual times (from end of startup).
+	FailuresInjected int
+	Failures         []RankFailure
+	// StragglersInjected is the number of GPUs inflated by the plan.
+	StragglersInjected int
+	// CheckpointsTaken counts cadence checkpoints actually completed;
+	// CheckpointCostSec is their total virtual-time cost.
+	CheckpointsTaken  int
+	CheckpointCostSec float64
+	// RecomputedIterations counts iterations whose work was redone after
+	// failures; RecomputedWorkSec is the recomputed critical-path time
+	// (restart replays plus degrade makeup passes).
+	RecomputedIterations int
+	RecomputedWorkSec    float64
+	// MakeupPasses counts PolicyDegrade re-partitioning passes;
+	// RestartCount counts PolicyRestart job restarts.
+	MakeupPasses int
+	RestartCount int
+	// SurvivingRanks is the rank count still alive at the end.
+	SurvivingRanks int
+	// FaultFreeRuntimeSec is the same run priced with no faults;
+	// OverheadSec is RuntimeSec − FaultFreeRuntimeSec.
+	FaultFreeRuntimeSec float64
+	OverheadSec         float64
+}
+
+// hash01f is a deterministic uniform sample in (0, 1) for a seed, an index
+// and a stream — the same splitmix64 finalizer gpusim uses for its device
+// noise, seeded independently so fault draws never correlate with jitter.
+func hash01f(seed uint64, index, stream int) float64 {
+	z := seed ^ (uint64(index)*0x9e3779b97f4a7c15 + uint64(stream)*0xd1b54a32d192ed03 + 0x2545f4914f6cdd1d)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / float64(1<<53)
+	if u <= 0 {
+		u = 0.5 / float64(1<<53)
+	}
+	return u
+}
+
+// Hash streams for the fault plan's independent draws.
+const (
+	streamLifetime  = 1
+	streamStraggler = 2
+)
+
+// plannedFailures merges the explicit failure list with MTBF-sampled
+// lifetimes, keeping at most one death per rank (the earliest), sorted by
+// time then rank.
+func (p FaultPlan) plannedFailures(nodes int) []RankFailure {
+	earliest := make(map[int]float64)
+	for _, f := range p.Failures {
+		if t, ok := earliest[f.Rank]; !ok || f.AtSec < t {
+			earliest[f.Rank] = f.AtSec
+		}
+	}
+	if p.MTBFSec > 0 {
+		for r := 0; r < nodes; r++ {
+			t := -math.Log(hash01f(p.Seed, r, streamLifetime)) * p.MTBFSec
+			if cur, ok := earliest[r]; !ok || t < cur {
+				earliest[r] = t
+			}
+		}
+	}
+	out := make([]RankFailure, 0, len(earliest))
+	for r, t := range earliest {
+		out = append(out, RankFailure{Rank: r, AtSec: t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AtSec != out[j].AtSec {
+			return out[i].AtSec < out[j].AtSec
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// stragglerSlowdown returns the ExtraSlowdown for a physical GPU: the
+// plan's factor for selected devices, 0 (disabled) otherwise.
+func (p FaultPlan) stragglerSlowdown(gpu int) float64 {
+	if p.StragglerFrac > 0 && hash01f(p.Seed, gpu, streamStraggler) < p.StragglerFrac {
+		return p.StragglerFactor
+	}
+	return 0
+}
+
+// countStragglers counts selected devices over the full machine.
+func (p FaultPlan) countStragglers(gpus int) int {
+	n := 0
+	for g := 0; g < gpus; g++ {
+		if p.stragglerSlowdown(g) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// rowWordsSchedule precomputes each iteration's packed row words under the
+// workload's splice-shrink trajectory — shared by every leg and restart so
+// a replayed iteration always costs what it cost the first time.
+func (w Workload) rowWordsSchedule() ([]int, []int) {
+	rowWords := make([]int, w.Iterations)
+	tumorRemaining := make([]int, w.Iterations)
+	left := w.TumorSamples
+	for iter := 0; iter < w.Iterations; iter++ {
+		tumorRemaining[iter] = left
+		rowWords[iter] = w.words(left)
+		if w.SpliceShrink > 0 {
+			left = int(float64(left) * (1 - w.SpliceShrink))
+			if left < 1 {
+				left = 1
+			}
+		}
+	}
+	return rowWords, tumorRemaining
+}
+
+// legPricing is one leg's per-iteration, per-alive-node busy times.
+type legPricing struct {
+	// parts is the flat per-GPU partitioning of the alive machine.
+	parts []sched.Partition
+	// nodeBusy[li][ai] is the busiest GPU of alive node ai in the leg's
+	// li-th iteration; busy[li][gi] is the per-GPU detail of iteration li.
+	nodeBusy [][]float64
+	busy     [][]float64
+}
+
+// priceLeg prices iterations [startIter, w.Iterations) on the alive nodes.
+// Device indices are physical (a straggler stays a straggler after the
+// machine shrinks around it).
+func priceLeg(spec Spec, w Workload, plan FaultPlan, curve sched.Curve,
+	rowWords []int, alive []int, startIter int) (*legPricing, error) {
+	gpn := spec.GPUsPerNode
+	gpus := len(alive) * gpn
+	parts, err := w.partitionsN(curve, spec.Device, gpus)
+	if err != nil {
+		return nil, err
+	}
+	iters := w.Iterations - startIter
+	lp := &legPricing{
+		parts:    parts,
+		nodeBusy: make([][]float64, iters),
+		busy:     make([][]float64, iters),
+	}
+	for li := 0; li < iters; li++ {
+		rw := rowWords[startIter+li]
+		busy := make([]float64, gpus)
+		parallelFor(gpus, func(gi int) {
+			phys := alive[gi/gpn]*gpn + gi%gpn
+			job := w.jobFor(curve, parts[gi], rw, phys, plan.stragglerSlowdown(phys))
+			busy[gi] = spec.Device.Simulate(job).BusySeconds
+		})
+		nb := make([]float64, len(alive))
+		for ai := range alive {
+			for d := 0; d < gpn; d++ {
+				if b := busy[ai*gpn+d]; b > nb[ai] {
+					nb[ai] = b
+				}
+			}
+		}
+		lp.busy[li] = busy
+		lp.nodeBusy[li] = nb
+	}
+	return lp, nil
+}
+
+// criticalPath returns the leg iteration's slowest GPU and its busy time.
+func (lp *legPricing) criticalPath(li int) (float64, int) {
+	maxBusy, critical := 0.0, 0
+	for gi, b := range lp.busy[li] {
+		if b > maxBusy {
+			maxBusy, critical = b, gi
+		}
+	}
+	return maxBusy, critical
+}
+
+// armFailure picks the leg's armed failure: the earliest pending failure
+// whose rank is still alive. Only one rank is ever armed per leg — the
+// world tears down at the first death anyway, and arming a single rank
+// keeps the recovered root cause deterministic.
+func armFailure(pending []RankFailure, alive []int) (RankFailure, int, bool) {
+	for _, f := range pending {
+		for ai, phys := range alive {
+			if phys == f.Rank {
+				return f, ai, true
+			}
+		}
+	}
+	return RankFailure{}, 0, false
+}
+
+// dropFailure removes the fired failure from the pending list.
+func dropFailure(pending []RankFailure, fired RankFailure) []RankFailure {
+	out := pending[:0]
+	for _, f := range pending {
+		if f != fired {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SimulateFaults prices a full run of the workload under the fault plan.
+// It is Simulate with failures: legs of fault-free execution separated by
+// rank deaths, each recovered according to plan.Policy, with the recovery
+// accounting surfaced in Report.Recovery. An empty plan reproduces
+// Simulate's runtime exactly (plus a zeroed Recovery section).
+func SimulateFaults(spec Spec, w Workload, plan FaultPlan) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(spec.Nodes); err != nil {
+		return nil, err
+	}
+	baseline, err := Simulate(spec, w)
+	if err != nil {
+		return nil, err
+	}
+
+	gpn := spec.GPUsPerNode
+	curve, err := w.curve()
+	if err != nil {
+		return nil, err
+	}
+	rowWords, tumorRemaining := w.rowWordsSchedule()
+
+	rec := &Recovery{
+		Policy:             plan.Policy,
+		StragglersInjected: plan.countStragglers(spec.GPUs()),
+	}
+	pending := plan.plannedFailures(spec.Nodes)
+
+	alive := make([]int, spec.Nodes)
+	for i := range alive {
+		alive[i] = i
+	}
+	rep := &Report{Spec: spec, Workload: w, Recovery: rec}
+	ledger := make([]RankReport, spec.Nodes)
+	for n := range ledger {
+		ledger[n].Rank = n
+	}
+	iterDone := make([]bool, w.Iterations)
+	iterReps := make([]IterationReport, w.Iterations)
+
+	elapsed := 0.0
+	progress := 0
+	firstLeg := true
+	for progress < w.Iterations {
+		lp, err := priceLeg(spec, w, plan, curve, rowWords, alive, progress)
+		if err != nil {
+			return nil, err
+		}
+		if firstLeg {
+			// First iteration of the pristine machine: the Fig. 6/7 inputs,
+			// as in Simulate.
+			gpus := spec.GPUs()
+			rep.GPUMetrics = make([]gpusim.Metrics, gpus)
+			parallelFor(gpus, func(g int) {
+				rep.GPUMetrics[g] = spec.Device.Simulate(
+					w.jobFor(curve, lp.parts[g], rowWords[0], g, plan.stragglerSlowdown(g)))
+			})
+			rep.Utilization = gpusim.Utilization(lp.busy[0])
+			firstLeg = false
+		}
+		// Record iteration reports for this leg (overwritten only if the
+		// iteration had not completed in an earlier leg).
+		for li := range lp.nodeBusy {
+			it := progress + li
+			if iterDone[it] {
+				continue
+			}
+			maxBusy, critical := lp.criticalPath(li)
+			iterReps[it] = IterationReport{
+				Iteration:      it,
+				TumorRemaining: tumorRemaining[it],
+				RowWords:       rowWords[it],
+				MaxBusySec:     maxBusy,
+				CriticalGPU:    critical,
+			}
+		}
+
+		armed, armedIdx, haveFailure := armFailure(pending, alive)
+		world := mpisim.NewWorld(len(alive), spec.Comm)
+		if haveFailure {
+			rel := armed.AtSec - elapsed
+			if rel < 0 {
+				rel = 0 // stale failure: the node dies the moment the leg starts
+			}
+			world.FailRankAt(armedIdx, rel)
+		}
+		// entered counts the iterations whose Compute the armed rank
+		// reached; written only by that rank's goroutine, and deterministic
+		// because the rank's virtual-time trajectory up to its own death
+		// does not depend on goroutine scheduling.
+		entered := 0
+		runErr := world.Run(func(r *mpisim.Rank) error {
+			for it := progress; it < w.Iterations; it++ {
+				if haveFailure && r.ID() == armedIdx {
+					entered = it - progress + 1
+				}
+				block := lp.nodeBusy[it-progress][r.ID()] + spec.IterOverheadSec
+				if plan.CheckpointEvery > 0 && (it+1)%plan.CheckpointEvery == 0 {
+					block += plan.CheckpointCostSec
+				}
+				r.Compute(block)
+				r.Reduce(reduce.None, reduce.BytesPerRecord, combineCombo)
+				r.Bcast(reduce.None, reduce.BytesPerRecord)
+			}
+			return nil
+		})
+		if runErr == nil {
+			// Fault-free leg to completion.
+			elapsed += world.MaxClock()
+			for ai, phys := range alive {
+				ledger[phys].ComputeSec += world.ComputeTime(ai)
+				ledger[phys].CommSec += world.CommTime(ai)
+				ledger[phys].WaitSec += world.WaitTime(ai)
+			}
+			for it := progress; it < w.Iterations; it++ {
+				iterDone[it] = true
+				if plan.CheckpointEvery > 0 && (it+1)%plan.CheckpointEvery == 0 {
+					rec.CheckpointsTaken++
+					rec.CheckpointCostSec += plan.CheckpointCostSec
+				}
+			}
+			progress = w.Iterations
+			break
+		}
+		var fe *mpisim.FailureError
+		if !errors.As(runErr, &fe) {
+			return nil, runErr
+		}
+		// The armed rank died in iteration `inflight`'s compute; iterations
+		// progress..inflight-1 completed on every rank (the dead rank's
+		// reduce contribution for them was sent before it died). The
+		// aborted world's surviving-rank ledgers stop at scheduling-
+		// dependent points and are discarded; only the dead rank's clock
+		// (fe.AtSec) is deterministic, and it is what the booking uses.
+		inflight := progress + entered - 1
+		tFail := fe.AtSec
+		rec.FailuresInjected++
+		rec.Failures = append(rec.Failures, RankFailure{Rank: alive[armedIdx], AtSec: elapsed + tFail})
+		pending = dropFailure(pending, armed)
+		for it := progress; it < inflight; it++ {
+			iterDone[it] = true
+			if plan.CheckpointEvery > 0 && (it+1)%plan.CheckpointEvery == 0 {
+				rec.CheckpointsTaken++
+				rec.CheckpointCostSec += plan.CheckpointCostSec
+			}
+		}
+
+		switch plan.Policy {
+		case PolicyRestart:
+			elapsed += tFail + spec.StartupSec
+			restartFrom := 0
+			if plan.CheckpointEvery > 0 {
+				restartFrom = inflight / plan.CheckpointEvery * plan.CheckpointEvery
+			}
+			rec.RecomputedIterations += inflight - restartFrom
+			for it := restartFrom; it < inflight; it++ {
+				rec.RecomputedWorkSec += iterReps[it].MaxBusySec + spec.IterOverheadSec
+			}
+			rec.RestartCount++
+			progress = restartFrom
+		case PolicyDegrade:
+			survivors := make([]int, 0, len(alive)-1)
+			for ai, phys := range alive {
+				if ai != armedIdx {
+					survivors = append(survivors, phys)
+				}
+			}
+			if len(survivors) == 0 {
+				return nil, fmt.Errorf("cluster: all ranks failed; nothing left to degrade onto")
+			}
+			// The in-flight iteration died inside its collective, so its
+			// partial results are lost: the survivors redo their own
+			// λ-ranges and then run a makeup pass over the dead rank's
+			// range, re-cut equi-area across their GPUs at the in-flight
+			// iteration's row width.
+			redo := 0.0
+			for ai := range alive {
+				if ai == armedIdx {
+					continue
+				}
+				if b := lp.nodeBusy[inflight-progress][ai]; b > redo {
+					redo = b
+				}
+			}
+			lo := lp.parts[armedIdx*gpn].Lo
+			hi := lp.parts[(armedIdx+1)*gpn-1].Hi
+			mkParts, err := sched.EquiAreaRange(curve, lo, hi, len(survivors)*gpn)
+			if err != nil {
+				return nil, err
+			}
+			mkBusy := make([]float64, len(mkParts))
+			parallelFor(len(mkParts), func(gi int) {
+				phys := survivors[gi/gpn]*gpn + gi%gpn
+				job := w.jobFor(curve, mkParts[gi], rowWords[inflight], phys, plan.stragglerSlowdown(phys))
+				mkBusy[gi] = spec.Device.Simulate(job).BusySeconds
+			})
+			makeup := 0.0
+			for _, b := range mkBusy {
+				if b > makeup {
+					makeup = b
+				}
+			}
+			elapsed += tFail + plan.RescheduleSec + redo + makeup + spec.IterOverheadSec
+			rec.MakeupPasses++
+			rec.RecomputedIterations++
+			rec.RecomputedWorkSec += redo + makeup
+			iterDone[inflight] = true
+			if plan.CheckpointEvery > 0 && (inflight+1)%plan.CheckpointEvery == 0 {
+				rec.CheckpointsTaken++
+				rec.CheckpointCostSec += plan.CheckpointCostSec
+			}
+			progress = inflight + 1
+			alive = survivors
+		}
+	}
+
+	rec.SurvivingRanks = len(alive)
+	rep.RuntimeSec = spec.StartupSec + elapsed
+	rep.Ranks = ledger
+	rep.Iterations = iterReps
+	rec.FaultFreeRuntimeSec = baseline.RuntimeSec
+	rec.OverheadSec = rep.RuntimeSec - baseline.RuntimeSec
+	return rep, nil
+}

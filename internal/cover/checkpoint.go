@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -165,7 +166,7 @@ func continueGreedy(tumor, normal *bitmat.Matrix, opt Options, active *bitmat.Ve
 		if remaining == 0 {
 			return nil
 		}
-		best, evaluated, err := findBest(tumor, active, normal, opt, denom)
+		best, evaluated, err := findBest(context.Background(), tumor, active, normal, opt, denom)
 		if err != nil {
 			return err
 		}

@@ -163,3 +163,108 @@ func TestMultiLegCheckpointing(t *testing.T) {
 		t.Fatalf("multi-leg result differs: %d steps vs %d", len(final.Steps), len(full.Steps))
 	}
 }
+
+func TestCheckpointResumeFromBitSpliceRun(t *testing.T) {
+	// A checkpoint taken from a BitSplice run binds to the ORIGINAL
+	// matrices (the splice is derived state), so it must resume in mask
+	// mode and converge to the same cover as an uninterrupted mask run.
+	tumor, normal := randomPair(79, 14, 60, 50, 0.4)
+	full, err := Run(tumor, normal, Options{Hits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Steps) < 3 {
+		t.Skipf("need ≥3 steps to split, got %d", len(full.Steps))
+	}
+	partial, err := Run(tumor, normal, Options{Hits: 3, BitSplice: true, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := partial.ToCheckpoint(tumor, normal)
+	resumed, err := Resume(tumor, normal, Options{Hits: 3}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Steps) != len(full.Steps) || resumed.Covered != full.Covered {
+		t.Fatalf("resume from a spliced run: %d steps / %d covered, want %d / %d",
+			len(resumed.Steps), resumed.Covered, len(full.Steps), full.Covered)
+	}
+	for i := range full.Steps {
+		if resumed.Steps[i].Combo.GeneIDs()[0] != full.Steps[i].Combo.GeneIDs()[0] ||
+			resumed.Steps[i].NewlyCovered != full.Steps[i].NewlyCovered {
+			t.Fatalf("step %d diverges: %v vs %v", i, resumed.Steps[i], full.Steps[i])
+		}
+	}
+}
+
+func TestCheckpointCadenceCallback(t *testing.T) {
+	tumor, normal := randomPair(71, 14, 60, 50, 0.4)
+	var cps []*Checkpoint
+	res, err := Run(tumor, normal, Options{
+		Hits:            3,
+		CheckpointEvery: 2,
+		OnCheckpoint:    func(cp *Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res.Steps) / 2
+	if len(cps) != want {
+		t.Fatalf("cadence 2 over %d steps took %d checkpoints, want %d",
+			len(res.Steps), len(cps), want)
+	}
+	for i, cp := range cps {
+		if got := len(cp.Combos); got != (i+1)*2 {
+			t.Fatalf("checkpoint %d records %d combos, want %d", i, got, (i+1)*2)
+		}
+	}
+	// The last cadence checkpoint resumes to the full result.
+	if len(cps) > 0 {
+		resumed, err := Resume(tumor, normal, Options{Hits: 3}, cps[len(cps)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resumed.Steps) != len(res.Steps) || resumed.Covered != res.Covered {
+			t.Fatal("resume from a cadence checkpoint diverges")
+		}
+	}
+}
+
+func TestCheckpointEveryNegativeRejected(t *testing.T) {
+	tumor, normal := randomPair(71, 10, 20, 20, 0.4)
+	if _, err := Run(tumor, normal, Options{Hits: 3, CheckpointEvery: -1}); err == nil {
+		t.Fatal("negative CheckpointEvery accepted")
+	}
+}
+
+func TestCheckpointCadenceUnderBitSplice(t *testing.T) {
+	// Cadence checkpoints taken DURING a splice run must each resume
+	// against the original matrices.
+	tumor, normal := randomPair(83, 13, 50, 40, 0.45)
+	full, err := Run(tumor, normal, Options{Hits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cps []*Checkpoint
+	_, err = Run(tumor, normal, Options{
+		Hits:            3,
+		BitSplice:       true,
+		CheckpointEvery: 1,
+		OnCheckpoint:    func(cp *Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no cadence checkpoints taken")
+	}
+	for i, cp := range cps {
+		resumed, err := Resume(tumor, normal, Options{Hits: 3}, cp)
+		if err != nil {
+			t.Fatalf("checkpoint %d does not resume: %v", i, err)
+		}
+		if len(resumed.Steps) != len(full.Steps) || resumed.Covered != full.Covered {
+			t.Fatalf("checkpoint %d resume diverges from the mask run", i)
+		}
+	}
+}

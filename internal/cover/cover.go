@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitmat"
@@ -156,6 +157,14 @@ type Options struct {
 	// the caller's goroutine; the Step is complete except for Elapsed of
 	// later steps.
 	Progress func(Step)
+	// CheckpointEvery, when positive, invokes OnCheckpoint after every
+	// CheckpointEvery-th completed iteration with a checkpoint of the run
+	// so far. 0 disables the cadence.
+	CheckpointEvery int
+	// OnCheckpoint receives the cadence checkpoints. It runs on the
+	// caller's goroutine; a slow callback lengthens the run. Ignored when
+	// CheckpointEvery is 0.
+	OnCheckpoint func(*Checkpoint)
 }
 
 // withDefaults resolves zero values and validates.
@@ -197,6 +206,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.BlockSize < 0 {
 		return o, fmt.Errorf("cover: BlockSize must be non-negative, got %d", o.BlockSize)
+	}
+	if o.CheckpointEvery < 0 {
+		return o, fmt.Errorf("cover: CheckpointEvery must be non-negative, got %d", o.CheckpointEvery)
 	}
 	return o, nil
 }
@@ -250,11 +262,14 @@ func Run(tumor, normal *bitmat.Matrix, opt Options) (*Result, error) {
 	return RunCtx(context.Background(), tumor, normal, opt)
 }
 
-// RunCtx is Run with cancellation: the context is checked between
-// iterations (full enumeration passes), so cancellation latency is one
-// iteration. On cancellation the partial result accumulated so far is
-// returned together with the context's error — the caller can checkpoint
-// it (see Checkpoint) and resume later.
+// RunCtx is Run with cancellation: the context is threaded down to the
+// enumeration workers, which check it before claiming each λ-partition, so
+// cancellation latency is one partition rather than a full enumeration
+// pass (for 4-hit runs the difference between seconds and days). On
+// cancellation the partial result accumulated so far — including the
+// combinations evaluated before the cutoff — is returned together with
+// the context's error; the caller can checkpoint completed iterations
+// (see Checkpoint) and resume later.
 func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Result, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
@@ -303,12 +318,12 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 		// The denominator stays pinned to the original cohort size so F
 		// values remain comparable across iterations whether or not
 		// BitSplicing shrinks the working matrix.
-		best, evaluated, err := findBest(cur, active, normal, opt, float64(nt+normal.Samples()))
+		best, evaluated, err := findBest(ctx, cur, active, normal, opt, float64(nt+normal.Samples()))
+		res.Evaluated += evaluated
 		if err != nil {
 			res.Elapsed = time.Since(start)
 			return res, err
 		}
-		res.Evaluated += evaluated
 		if best == reduce.None {
 			break
 		}
@@ -351,6 +366,13 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 		res.Steps = append(res.Steps, step)
 		if opt.Progress != nil {
 			opt.Progress(step)
+		}
+		if opt.CheckpointEvery > 0 && opt.OnCheckpoint != nil &&
+			len(res.Steps)%opt.CheckpointEvery == 0 {
+			// Checkpoints bind to the ORIGINAL matrices (not the working
+			// splice), so a BitSplice run's checkpoint resumes cleanly in
+			// mask mode.
+			opt.OnCheckpoint(res.ToCheckpoint(tumor, normal))
 		}
 		if activeAfter == 0 {
 			break
@@ -396,7 +418,7 @@ func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (re
 	if active == nil {
 		active = bitmat.AllOnes(tumor.Samples())
 	}
-	return findBest(tumor, active, normal, opt,
+	return findBest(context.Background(), tumor, active, normal, opt,
 		float64(tumor.Samples()+normal.Samples()))
 }
 
@@ -432,13 +454,20 @@ func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options
 		denom:  float64(tumor.Samples() + normal.Samples()),
 		nn:     normal.Samples(),
 	}
-	best, n := runKernel(env, opt, sched.Partition{Lo: lo, Hi: hi})
+	best, n := runKernel(context.Background(), env, opt, sched.Partition{Lo: lo, Hi: hi})
 	return best, n, nil
 }
 
-// findBest partitions the λ-domain, runs the scheme kernel on every worker,
-// and reduces the winners.
-func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, uint64, error) {
+// findBest partitions the λ-domain, runs the scheme kernel across a worker
+// pool, and reduces the winners. The domain is cut into more partitions
+// than workers (4× oversubscription) and workers claim them through an
+// atomic counter, checking the context before each claim — cancellation
+// latency is therefore one partition, not one full pass. On cancellation
+// the combinations already evaluated are still counted and the context's
+// error is returned. Chunking does not change the result: the reduction is
+// a deterministic total order (reduce.Combo.Better), independent of how
+// the domain is partitioned.
+func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, uint64, error) {
 	g := uint64(tumor.Genes())
 	var curve sched.Curve
 	switch opt.Scheme {
@@ -464,12 +493,15 @@ func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, o
 	if workers < 1 {
 		workers = 1
 	}
+	// Oversubscribe: more partitions than workers bounds cancellation
+	// latency to a quarter of a worker's share.
+	chunks := workers * 4
 	var parts []sched.Partition
 	var err error
 	if opt.Scheduler == EquiDistance {
-		parts, err = sched.EquiDistance(curve, workers)
+		parts, err = sched.EquiDistance(curve, chunks)
 	} else {
-		parts, err = sched.EquiArea(curve, workers)
+		parts, err = sched.EquiArea(curve, chunks)
 	}
 	if err != nil {
 		return reduce.None, 0, err
@@ -485,18 +517,30 @@ func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, o
 	}
 
 	bests := make([]reduce.Combo, len(parts))
+	for i := range bests {
+		bests[i] = reduce.None
+	}
 	counts := make([]uint64, len(parts))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w, part := range parts {
-		if part.Size() == 0 {
-			bests[w] = reduce.None
-			continue
-		}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int, part sched.Partition) {
+		go func() {
 			defer wg.Done()
-			bests[w], counts[w] = runKernel(env, opt, part)
-		}(w, part)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				if parts[i].Size() == 0 {
+					continue
+				}
+				bests[i], counts[i] = runKernel(ctx, env, opt, parts[i])
+			}
+		}()
 	}
 	wg.Wait()
 
@@ -504,8 +548,10 @@ func findBest(tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, o
 	for _, c := range counts {
 		total += c
 	}
-	// Rank-0 reduction across workers.
-	return reduce.Max(bests), total, nil
+	// Rank-0 reduction across workers. On cancellation the reduction over
+	// the completed partitions is still returned alongside the error so
+	// callers can account the partial work.
+	return reduce.Max(bests), total, ctx.Err()
 }
 
 // kernelEnv bundles the per-iteration read-only state shared by workers.
@@ -526,8 +572,13 @@ func (e *kernelEnv) score(tp, normalHits int) float64 {
 
 // runKernel dispatches the scheme kernel over one λ-partition, folding
 // per-thread results through block reduction and a tree reduction, exactly
-// mirroring the maxF / parallelReduceMax kernel pair.
-func runKernel(env *kernelEnv, opt Options, part sched.Partition) (reduce.Combo, uint64) {
+// mirroring the maxF / parallelReduceMax kernel pair. A canceled context
+// skips the partition entirely (one partition is the cancellation
+// granularity; the kernels themselves never block).
+func runKernel(ctx context.Context, env *kernelEnv, opt Options, part sched.Partition) (reduce.Combo, uint64) {
+	if ctx.Err() != nil {
+		return reduce.None, 0
+	}
 	var blockBests []reduce.Combo
 	blockBest := reduce.None
 	inBlock := 0

@@ -3,6 +3,7 @@ package cover
 import (
 	"context"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bitmat"
@@ -626,5 +627,57 @@ func TestProgressCallback(t *testing.T) {
 		if seen[i].Combo != res.Steps[i].Combo {
 			t.Fatalf("progress step %d differs from result", i)
 		}
+	}
+}
+
+// flipCtx is a context whose Err flips to context.Canceled after a fixed
+// number of Err calls — a deterministic stand-in for "cancellation arrives
+// mid-iteration". With Workers: 1 the Err call order is fixed: RunCtx's
+// loop-top check, then the worker's per-partition claim checks and
+// runKernel entry checks, strictly sequentially.
+type flipCtx struct {
+	context.Context
+	calls *atomic.Int64
+	after int64
+}
+
+func (c *flipCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestRunCtxCancellationMidIteration(t *testing.T) {
+	// Cancellation lands during iteration 1 of a 4-hit run, after the
+	// worker has completed exactly one of the four λ-partitions. RunCtx
+	// must return within that partition — a partial Evaluated count, no
+	// steps — rather than finishing the full enumeration pass.
+	tumor, normal := randomPair(97, 30, 40, 35, 0.4)
+	opt := Options{Hits: 4, Workers: 1}
+
+	full, err := Run(tumor, normal, Options{Hits: 4, Workers: 1, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPass := full.Steps[0].Evaluated
+
+	// Err calls 1–3 (RunCtx loop top, worker claim of partition 0,
+	// runKernel entry) see nil; call 4 — the claim of partition 1 — sees
+	// the cancellation.
+	ctx := &flipCtx{Context: context.Background(), calls: &atomic.Int64{}, after: 3}
+	res, err := RunCtx(ctx, tumor, normal, opt)
+	if err != context.Canceled {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if len(res.Steps) != 0 {
+		t.Fatalf("cancelled mid-iteration yet produced %d steps", len(res.Steps))
+	}
+	if res.Evaluated == 0 {
+		t.Fatal("partition 0 completed before cancellation; its work must be counted")
+	}
+	if res.Evaluated >= fullPass {
+		t.Fatalf("cancelled run evaluated %d of a %d-combination pass — cancellation did not stop within one partition",
+			res.Evaluated, fullPass)
 	}
 }

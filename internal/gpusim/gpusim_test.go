@@ -269,6 +269,63 @@ func TestOccupancyPenalty(t *testing.T) {
 	}
 }
 
+func TestStragglerTailCapped(t *testing.T) {
+	// The raw exponential reaches ~37 at hash01's floor; the capped sample
+	// must never exceed StragglerTailCap, yet the distribution below the
+	// cap must be untouched — over 10k devices the expected max of an
+	// exponential is ln(10⁴)+γ ≈ 9.8, so the observed max should sit well
+	// above 6 (heavy tail intact) and at or below 12 (cap effective).
+	max := 0.0
+	for i := 0; i < 10000; i++ {
+		s := straggler(i)
+		if s < 0 {
+			t.Fatalf("straggler(%d) = %g, negative", i, s)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max > StragglerTailCap {
+		t.Fatalf("max straggler sample %g exceeds cap %g", max, StragglerTailCap)
+	}
+	if max < 6 {
+		t.Fatalf("max straggler sample %g — tail too light, distribution damaged", max)
+	}
+	// Pin the worst-case slowdown factor under the V100 model: the cap
+	// bounds it at 1 + 0.03·12 = 1.36.
+	d := V100()
+	if worst := 1 + d.StragglerScale*max; worst > 1.36 {
+		t.Fatalf("worst V100 straggler slowdown %g exceeds 1.36", worst)
+	}
+}
+
+func TestExtraSlowdownStretchesBusyTime(t *testing.T) {
+	d := V100()
+	base := d.Simulate(job(1000, 1_000_000, 5))
+	j := job(1000, 1_000_000, 5)
+	j.ExtraSlowdown = 2.5
+	slow := d.Simulate(j)
+	if ratio := slow.BusySeconds / base.BusySeconds; math.Abs(ratio-2.5) > 1e-9 {
+		t.Fatalf("ExtraSlowdown 2.5 stretched busy time by %g", ratio)
+	}
+	// Zero means disabled, not a zero-duration job.
+	j.ExtraSlowdown = 0
+	if again := d.Simulate(j); again != base {
+		t.Fatal("ExtraSlowdown 0 must behave as 1.0")
+	}
+}
+
+func TestExtraSlowdownNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative ExtraSlowdown")
+		}
+	}()
+	j := job(10, 100, 0)
+	j.ExtraSlowdown = -1
+	V100().Simulate(j)
+}
+
 func TestA100ProjectionFasterThanV100(t *testing.T) {
 	if err := A100().Validate(); err != nil {
 		t.Fatalf("A100 spec invalid: %v", err)

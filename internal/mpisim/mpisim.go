@@ -50,12 +50,35 @@ type World struct {
 	// of deadlocking on messages the dead rank will never send.
 	failed   chan struct{}
 	failOnce sync.Once
+	// failErr is the first error that triggered failOnce — the root cause.
+	// Ranks that subsequently abort a Send/Recv produce secondary errors
+	// that must not mask it. Written once inside failOnce.Do, read after
+	// Run's WaitGroup barrier.
+	failErr error
+	// killAt is the fault injector's per-rank virtual death time; negative
+	// means the rank is not scheduled to fail. See FailRankAt.
+	killAt []float64
 	// Per-rank ledgers, indexed by rank; each entry is written only by its
 	// own rank's goroutine during Run.
 	clock   []float64
 	compute []float64
 	comm    []float64
 	wait    []float64
+}
+
+// FailureError is the error produced when the fault injector kills a rank
+// (see FailRankAt): a simulated node failure at a virtual time, as opposed
+// to a program bug. Callers recover it from Run with errors.As to drive
+// checkpoint-restart or degraded-mode recovery.
+type FailureError struct {
+	// Rank is the rank that died.
+	Rank int
+	// AtSec is the rank's virtual clock at death.
+	AtSec float64
+}
+
+func (e *FailureError) Error() string {
+	return fmt.Sprintf("mpisim: rank %d failed at virtual time %.3fs (injected fault)", e.Rank, e.AtSec)
 }
 
 // NewWorld creates a world with n ranks.
@@ -69,6 +92,7 @@ func NewWorld(n int, p Params) *World {
 		params:  p,
 		failed:  make(chan struct{}),
 		inbox:   make([]chan message, n),
+		killAt:  make([]float64, n),
 		clock:   make([]float64, n),
 		compute: make([]float64, n),
 		comm:    make([]float64, n),
@@ -77,7 +101,27 @@ func NewWorld(n int, p Params) *World {
 	for i := range w.inbox {
 		w.inbox[i] = make(chan message, 256)
 	}
+	for i := range w.killAt {
+		w.killAt[i] = -1
+	}
 	return w
+}
+
+// FailRankAt arms the fault injector: the rank dies — its body is torn down
+// with a *FailureError — the moment its virtual clock reaches atSec inside a
+// Compute block. The death is deterministic in virtual time: it depends only
+// on the rank program, never on goroutine scheduling. Must be called before
+// Run.
+func (w *World) FailRankAt(rank int, atSec float64) {
+	if rank < 0 || rank >= w.n {
+		//lint:allow panicfree constructor-time assertion on a programmer-supplied rank, like an index bound
+		panic(fmt.Sprintf("mpisim: FailRankAt rank %d out of world size %d", rank, w.n))
+	}
+	if atSec < 0 {
+		//lint:allow panicfree constructor-time assertion on a programmer-supplied time
+		panic(fmt.Sprintf("mpisim: FailRankAt negative time %g", atSec))
+	}
+	w.killAt[rank] = atSec
 }
 
 // Size returns the number of ranks.
@@ -113,8 +157,12 @@ func (w *World) MaxClock() float64 {
 }
 
 // Run executes body once per rank, concurrently, and waits for all ranks.
-// It returns the first non-nil error (panics in rank bodies are converted
-// to errors). A World must not be reused after Run.
+// It returns the root-cause error: the first error (or recovered panic)
+// that tore the world down. Ranks that subsequently abort a blocked
+// Send/Recv because a peer died produce secondary errors, which are never
+// returned while a root cause exists — returning errs in rank order would
+// let rank 0's "a peer rank failed" panic mask the real failure at a
+// higher rank. A World must not be reused after Run.
 func (w *World) Run(body func(r *Rank) error) error {
 	errs := make([]error, w.n)
 	var wg sync.WaitGroup
@@ -124,16 +172,26 @@ func (w *World) Run(body func(r *Rank) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[id] = fmt.Errorf("mpisim: rank %d panicked: %v", id, p)
+					if fe, ok := p.(*FailureError); ok {
+						errs[id] = fe
+					} else {
+						errs[id] = fmt.Errorf("mpisim: rank %d panicked: %v", id, p)
+					}
 				}
 				if errs[id] != nil {
-					w.failOnce.Do(func() { close(w.failed) })
+					w.failOnce.Do(func() {
+						w.failErr = errs[id]
+						close(w.failed)
+					})
 				}
 			}()
 			errs[id] = body(&Rank{id: id, w: w})
 		}(id)
 	}
 	wg.Wait()
+	if w.failErr != nil {
+		return w.failErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -155,11 +213,27 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the world size.
 func (r *Rank) Size() int { return r.w.n }
 
-// Compute advances this rank's clock by a block of computation.
+// Compute advances this rank's clock by a block of computation. If the
+// fault injector armed a death time for this rank (FailRankAt) and the
+// block would carry the clock past it, the clock stops at the death time,
+// the partial work up to it is booked, and the rank dies with a
+// *FailureError.
 func (r *Rank) Compute(seconds float64) {
 	if seconds < 0 {
 		//lint:allow panicfree models MPI_Abort: a malformed rank program tears down the world; World.Run recovers it into an error
 		panic("mpisim: negative compute time")
+	}
+	if k := r.w.killAt[r.id]; k >= 0 && r.w.clock[r.id]+seconds >= k {
+		// Book only the work up to the death time; if the clock already
+		// passed k inside a collective, die immediately without rewinding.
+		spent := k - r.w.clock[r.id]
+		if spent < 0 {
+			spent = 0
+		}
+		r.w.clock[r.id] += spent
+		r.w.compute[r.id] += spent
+		//lint:allow panicfree models a fault-injected node death; recovered by World.Run into *FailureError
+		panic(&FailureError{Rank: r.id, AtSec: r.w.clock[r.id]})
 	}
 	r.w.clock[r.id] += seconds
 	r.w.compute[r.id] += seconds

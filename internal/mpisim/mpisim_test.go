@@ -1,6 +1,7 @@
 package mpisim
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -370,6 +371,108 @@ func TestRankPanicReleasesBlockedSenders(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("world deadlocked after a rank panic")
+	}
+}
+
+func TestRunReturnsRootCauseError(t *testing.T) {
+	// Rank 3 is the only real failure: every other rank is blocked in the
+	// barrier and aborts with a secondary "a peer rank failed" panic once
+	// failOnce fires. Returning errs in rank order would surface rank 0's
+	// secondary abort; Run must return rank 3's root cause instead.
+	const n = 8
+	root := fmt.Errorf("rank 3 root cause")
+	for trial := 0; trial < 20; trial++ {
+		w := NewWorld(n, params())
+		err := w.Run(func(r *Rank) error {
+			if r.ID() == 3 {
+				return root
+			}
+			r.Barrier()
+			return nil
+		})
+		if !errors.Is(err, root) {
+			t.Fatalf("trial %d: Run = %v, want the rank-3 root cause", trial, err)
+		}
+	}
+}
+
+func TestFailRankAtReturnsFailureError(t *testing.T) {
+	const n = 4
+	w := NewWorld(n, params())
+	w.FailRankAt(2, 5.0)
+	err := w.Run(func(r *Rank) error {
+		r.Compute(10)
+		r.Barrier()
+		return nil
+	})
+	var fe *FailureError
+	if !errors.As(err, &fe) {
+		t.Fatalf("Run = %v, want *FailureError", err)
+	}
+	if fe.Rank != 2 || fe.AtSec != 5.0 {
+		t.Fatalf("FailureError = %+v, want rank 2 at 5.0s", fe)
+	}
+	// The dead rank's clock stops exactly at the kill time, with the partial
+	// compute up to it booked.
+	if w.Clock(2) != 5.0 {
+		t.Fatalf("dead rank clock = %g, want 5.0", w.Clock(2))
+	}
+	if w.ComputeTime(2) != 5.0 {
+		t.Fatalf("dead rank compute = %g, want 5.0", w.ComputeTime(2))
+	}
+}
+
+func TestFailRankAtSplitsComputeBlocks(t *testing.T) {
+	// Death in the middle of the second compute block: first block books
+	// fully, second books only up to the kill time.
+	w := NewWorld(2, params())
+	w.FailRankAt(1, 7.5)
+	err := w.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			r.Compute(5)
+			r.Compute(5) // dies 2.5s in
+			t.Error("rank 1 survived past its death time")
+		}
+		return nil
+	})
+	var fe *FailureError
+	if !errors.As(err, &fe) {
+		t.Fatalf("Run = %v, want *FailureError", err)
+	}
+	if w.Clock(1) != 7.5 || w.ComputeTime(1) != 7.5 {
+		t.Fatalf("dead rank clock=%g compute=%g, want 7.5, 7.5", w.Clock(1), w.ComputeTime(1))
+	}
+}
+
+func TestFailRankAtUnarmedWorldRunsClean(t *testing.T) {
+	// Negative sentinel means no rank is armed; a fresh world must be
+	// unaffected by the fault machinery.
+	w := NewWorld(3, params())
+	err := w.Run(func(r *Rank) error {
+		r.Compute(1)
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailRankAtValidation(t *testing.T) {
+	w := NewWorld(2, params())
+	for i, fn := range []func(){
+		func() { w.FailRankAt(5, 1.0) },
+		func() { w.FailRankAt(-1, 1.0) },
+		func() { w.FailRankAt(0, -2.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
 	}
 }
 

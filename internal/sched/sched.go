@@ -286,6 +286,83 @@ func EquiArea(c Curve, p int) ([]Partition, error) {
 	return parts, nil
 }
 
+// EquiAreaRange splits one λ sub-range [lo, hi) of the curve's domain into
+// p partitions of (nearly) equal work — the recovery scheduler: when a rank
+// dies mid-iteration, the λ-range it owned is re-partitioned across the
+// surviving processors with the same level-table machinery EquiArea uses
+// for the full domain (O(p log G); no per-thread scan). The returned
+// partitions tile [lo, hi) exactly.
+func EquiAreaRange(c Curve, lo, hi uint64, p int) ([]Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("sched: partition count must be positive, got %d", p)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("sched: inverted range [%d, %d)", lo, hi)
+	}
+	if hi > c.Threads() {
+		return nil, fmt.Errorf("sched: range [%d, %d) exceeds domain of %d threads", lo, hi, c.Threads())
+	}
+	lv, ok := c.(*levels)
+	if !ok {
+		return naiveEquiAreaRange(c, lo, hi, p)
+	}
+	base := lv.PrefixWork(lo)
+	total := lv.PrefixWork(hi) - base
+	parts := make([]Partition, p)
+	cur := lo
+	for i := 0; i < p; i++ {
+		var bound uint64
+		if i == p-1 {
+			bound = hi
+		} else {
+			target := total / uint64(p) * uint64(i+1)
+			if r := total % uint64(p); r > 0 {
+				target += r * uint64(i+1) / uint64(p)
+			}
+			bound = lv.findPrefix(base + target)
+			if bound < cur {
+				bound = cur
+			}
+			if bound > hi {
+				bound = hi
+			}
+		}
+		parts[i] = Partition{Lo: cur, Hi: bound}
+		cur = bound
+	}
+	return parts, nil
+}
+
+// naiveEquiAreaRange is the per-thread fallback for curves without a level
+// table; O(hi − lo).
+func naiveEquiAreaRange(c Curve, lo, hi uint64, p int) ([]Partition, error) {
+	var total uint64
+	for lambda := lo; lambda < hi; lambda++ {
+		total += c.WorkAt(lambda)
+	}
+	parts := make([]Partition, 0, p)
+	curLo := lo
+	var acc uint64
+	part := 1
+	for lambda := lo; lambda < hi && part < p; lambda++ {
+		acc += c.WorkAt(lambda)
+		target := total / uint64(p) * uint64(part)
+		if r := total % uint64(p); r > 0 {
+			target += r * uint64(part) / uint64(p)
+		}
+		if acc >= target {
+			parts = append(parts, Partition{Lo: curLo, Hi: lambda + 1})
+			curLo = lambda + 1
+			part++
+		}
+	}
+	for len(parts) < p-1 {
+		parts = append(parts, Partition{Lo: curLo, Hi: curLo})
+	}
+	parts = append(parts, Partition{Lo: curLo, Hi: hi})
+	return parts, nil
+}
+
 // NaiveEquiArea computes the equi-area split by scanning every thread and
 // accumulating its work until the per-processor average is reached — the
 // approach the paper rejects ("takes tens of hours ... using a single

@@ -350,3 +350,105 @@ func TestQuad4x1Curve(t *testing.T) {
 		}
 	}
 }
+
+func TestEquiAreaRangeTiles(t *testing.T) {
+	for _, c := range []Curve{NewTetra3x1(50), NewTri2x2(50), NewTri2x1(50), NewFlat(1000)} {
+		n := c.Threads()
+		lo, hi := n/5, n-n/7
+		for _, p := range []int{1, 2, 7, 30} {
+			parts := mustParts(t)(EquiAreaRange(c, lo, hi, p))
+			if len(parts) != p {
+				t.Fatalf("%s EAR gave %d parts, want %d", c.Name(), len(parts), p)
+			}
+			// Contiguous tiling of exactly [lo, hi).
+			expect := lo
+			for i, part := range parts {
+				if part.Lo != expect || part.Hi < part.Lo {
+					t.Fatalf("%s EAR(%d) part %d = %+v, want start %d", c.Name(), p, i, part, expect)
+				}
+				expect = part.Hi
+			}
+			if expect != hi {
+				t.Fatalf("%s EAR(%d) ends at %d, want %d", c.Name(), p, expect, hi)
+			}
+		}
+	}
+}
+
+func TestEquiAreaRangeBalancesWork(t *testing.T) {
+	// The sub-range split must be as balanced as the full-domain EA split:
+	// no partition more than ~2 levels' work above the mean.
+	c := NewTetra3x1(60)
+	n := c.Threads()
+	lo, hi := n/4, 3*n/4
+	total := c.PrefixWork(hi) - c.PrefixWork(lo)
+	const p = 11
+	parts := mustParts(t)(EquiAreaRange(c, lo, hi, p))
+	mean := float64(total) / p
+	for i, part := range parts {
+		w := float64(c.PrefixWork(part.Hi) - c.PrefixWork(part.Lo))
+		// One boundary thread's work (≤ G) of slack on either side.
+		if w > mean+120 || (w < mean-120 && i < p-1) {
+			t.Fatalf("part %d work %g, mean %g — unbalanced", i, w, mean)
+		}
+	}
+}
+
+func TestEquiAreaRangeFullDomainMatchesEquiArea(t *testing.T) {
+	c := NewTetra3x1(40)
+	for _, p := range []int{1, 3, 9} {
+		whole := mustParts(t)(EquiArea(c, p))
+		ranged := mustParts(t)(EquiAreaRange(c, 0, c.Threads(), p))
+		for i := range whole {
+			if whole[i] != ranged[i] {
+				t.Fatalf("p=%d part %d: EquiAreaRange over the full domain %+v != EquiArea %+v",
+					p, i, ranged[i], whole[i])
+			}
+		}
+	}
+}
+
+func TestEquiAreaRangeNaiveFallbackAgrees(t *testing.T) {
+	// A non-levels Curve takes the per-thread fallback; wrap a levels curve
+	// to force it and compare.
+	base := NewTetra3x1(20)
+	wrapped := opaqueCurve{base}
+	n := base.Threads()
+	lo, hi := n/6, n-n/6
+	for _, p := range []int{1, 2, 5} {
+		fast := mustParts(t)(EquiAreaRange(base, lo, hi, p))
+		slow := mustParts(t)(EquiAreaRange(wrapped, lo, hi, p))
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("p=%d part %d: levels %+v != naive %+v", p, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+// opaqueCurve hides the *levels concrete type so range partitioning takes
+// the naive path.
+type opaqueCurve struct{ Curve }
+
+func TestEquiAreaRangeErrors(t *testing.T) {
+	c := NewTetra3x1(10)
+	if _, err := EquiAreaRange(c, 0, 10, 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := EquiAreaRange(c, 10, 5, 3); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := EquiAreaRange(c, 0, c.Threads()+1, 3); err == nil {
+		t.Fatal("out-of-domain range accepted")
+	}
+	// Empty range: p empty partitions.
+	parts, err := EquiAreaRange(c, 7, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range parts {
+		if part.Lo != 7 || part.Hi != 7 {
+			t.Fatalf("empty range gave %+v", part)
+		}
+	}
+}
