@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench reports examples faults clean
+.PHONY: all build vet lint test race bench benchfull reports examples faults clean
 
 all: build vet lint test
 
@@ -22,7 +22,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Before/after baselines for the bound-and-prune engine (docs/PRUNING.md):
+# reruns BenchmarkFig5MemOpts and BenchmarkKernel3x1 inputs with and
+# without Options.NoPrune and records the pair in BENCH_4.json.
 bench:
+	$(GO) run ./cmd/benchreport -exp bench -benchout BENCH_4.json
+
+# The full Go benchmark suite across every package.
+benchfull:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every figure/table of EXPERIMENTS.md into reports/.

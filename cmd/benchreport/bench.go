@@ -1,0 +1,139 @@
+package main
+
+// The "bench" experiment baselines the bound-and-prune engine: it reruns
+// the repo's two acceptance benchmarks (BenchmarkFig5MemOpts and
+// BenchmarkKernel3x1 in bench_test.go) in-process via testing.Benchmark,
+// once with Options.NoPrune (the pre-pruning engine) and once with the
+// default pruned path, and reports ns/op, allocations and the measured
+// pruning ratio side by side. With -benchout the same numbers are written
+// as JSON (the PR convention is BENCH_<n>.json at the repo root), so the
+// before/after record is machine-readable and diffable across revisions.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/dataset"
+)
+
+// benchCase is one before/after pair over identical input.
+type benchCase struct {
+	Name string `json:"name"`
+	// Genes is the scaled gene-universe size the case enumerates.
+	Genes int `json:"genes"`
+	// Before is the NoPrune engine, After the default pruned one.
+	Before benchSide `json:"before"`
+	After  benchSide `json:"after"`
+	// SpeedupPct is (1 - after/before)·100 on ns/op.
+	SpeedupPct float64 `json:"speedup_pct"`
+}
+
+// benchSide is one engine's measurement.
+type benchSide struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	PrunedRatio float64 `json:"pruned_ratio"`
+}
+
+// measure runs one FindBest configuration under the Go benchmark harness
+// and captures its pruning ratio from a direct call on the same input.
+func measure(cohort *dataset.Cohort, opt cover.Options) (benchSide, error) {
+	_, n, err := cover.FindBest(cohort.Tumor, cohort.Normal, nil, opt)
+	if err != nil {
+		return benchSide{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cover.FindBest(cohort.Tumor, cohort.Normal, nil, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	side := benchSide{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if scanned := n.Scanned(); scanned > 0 {
+		side.PrunedRatio = float64(n.Pruned) / float64(scanned)
+	}
+	return side, nil
+}
+
+func expBench(cfg config) (string, error) {
+	fig5Genes, kernelGenes := 200, 60
+	if cfg.Quick {
+		fig5Genes, kernelGenes = 60, 30
+	}
+
+	type spec struct {
+		name  string
+		genes int
+		hits  int
+		opt   cover.Options
+	}
+	specs := []spec{
+		{"Fig5MemOpts/none", fig5Genes, 3, cover.Options{Hits: 3}},
+		{"Fig5MemOpts/MemOpt1", fig5Genes, 3, cover.Options{Hits: 3, MemOpt1: true}},
+		{"Fig5MemOpts/MemOpt1+2", fig5Genes, 3, cover.Options{Hits: 3, MemOpt1: true, MemOpt2: true}},
+		{"Kernel3x1", kernelGenes, 4, cover.Options{Hits: 4, Scheme: cover.Scheme3x1}},
+	}
+
+	var cases []benchCase
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %6s %14s %14s %9s %12s %12s %8s\n",
+		"case", "genes", "before ns/op", "after ns/op", "speedup",
+		"before alloc", "after alloc", "pruned")
+	for _, s := range specs {
+		ds := dataset.BRCA().Scaled(s.genes)
+		ds.Hits = s.hits
+		cohort, err := dataset.Generate(ds, cfg.Seed)
+		if err != nil {
+			return "", err
+		}
+		off := s.opt
+		off.NoPrune = true
+		before, err := measure(cohort, off)
+		if err != nil {
+			return "", err
+		}
+		after, err := measure(cohort, s.opt)
+		if err != nil {
+			return "", err
+		}
+		c := benchCase{Name: s.name, Genes: s.genes, Before: before, After: after}
+		if before.NsPerOp > 0 {
+			c.SpeedupPct = (1 - float64(after.NsPerOp)/float64(before.NsPerOp)) * 100
+		}
+		cases = append(cases, c)
+		fmt.Fprintf(&sb, "%-22s %6d %14d %14d %8.1f%% %12d %12d %7.1f%%\n",
+			c.Name, c.Genes, before.NsPerOp, after.NsPerOp, c.SpeedupPct,
+			before.AllocsPerOp, after.AllocsPerOp, after.PrunedRatio*100)
+	}
+	sb.WriteString("\nbefore = Options.NoPrune (pre-pruning engine), after = default bound-and-prune.\n")
+	sb.WriteString("pruned = fraction of the scanned combination space skipped by the shared bound.\n")
+
+	if cfg.BenchOut != "" {
+		blob, err := json.MarshalIndent(struct {
+			Experiment string      `json:"experiment"`
+			Genes      int         `json:"genes_flag"`
+			Seed       int64       `json:"seed"`
+			Quick      bool        `json:"quick"`
+			Cases      []benchCase `json:"cases"`
+		}{"bench", cfg.Genes, cfg.Seed, cfg.Quick, cases}, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(cfg.BenchOut, append(blob, '\n'), 0o644); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "\nwrote %s\n", cfg.BenchOut)
+	}
+	return sb.String(), nil
+}

@@ -33,6 +33,9 @@ type config struct {
 	Genes int
 	Seed  int64
 	Quick bool
+	// BenchOut is where the "bench" experiment writes its JSON record
+	// (empty = text only).
+	BenchOut string
 }
 
 func experiments() []experiment {
@@ -61,6 +64,7 @@ func experiments() []experiment {
 		{"campaign", "11-cancer production-study cost model", expCampaign},
 		{"hardware", "V100 vs A100-class device projection", expHardware},
 		{"hitcount", "2/3/4-hit comparison on a 4-hit cohort (Sec. I motivation)", expHitCount},
+		{"bench", "bound-and-prune before/after baselines (writes -benchout JSON)", expBench},
 	}
 }
 
@@ -71,6 +75,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink the expensive experiments for smoke runs")
 	list := flag.Bool("list", false, "list experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <out>/<name>.txt")
+	benchOut := flag.String("benchout", "", "write the bench experiment's before/after record to this JSON file")
 	flag.Parse()
 
 	all := experiments()
@@ -80,7 +85,7 @@ func main() {
 		}
 		return
 	}
-	cfg := config{Genes: *genes, Seed: *seed, Quick: *quick}
+	cfg := config{Genes: *genes, Seed: *seed, Quick: *quick, BenchOut: *benchOut}
 
 	var selected []experiment
 	if *exp == "all" {

@@ -31,6 +31,15 @@ func cleanString(a, b labeled) bool {
 	return a.F == b.F
 }
 
+// A bound-and-prune decision written as a raw comparison against the
+// incumbent's score is exactly the bug the rule exists for: prune
+// strictness is part of the canonical order, so the decision must route
+// through internal/reduce (SharedBest.ShouldPrune / Combo.StrictlyAbove),
+// never reimplement it at the call site.
+func worsePruneBound(upperBound float64, incumbent combo) bool {
+	return upperBound < incumbent.F // want `direct < comparison of an F score`
+}
+
 func suppressed(a, b combo) bool {
 	return a.F > b.F //lint:allow floatcompare fixture asserts suppression keeps this silent
 }

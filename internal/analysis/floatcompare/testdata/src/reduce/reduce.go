@@ -20,3 +20,10 @@ func better(a, b combo) bool {
 	}
 	return false
 }
+
+// shouldPrune mirrors reduce.SharedBest.ShouldPrune: the strict bound
+// consultation is part of the canonical order and lives only in this
+// package — callers ask the incumbent, they do not compare scores.
+func shouldPrune(upperBound float64, incumbent combo) bool {
+	return upperBound < incumbent.F
+}

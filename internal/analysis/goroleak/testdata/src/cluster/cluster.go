@@ -2,7 +2,10 @@
 // scope — and exercises both rules plus the approved patterns.
 package cluster
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 func leaky(n int) {
 	results := make([]int, n)
@@ -58,6 +61,36 @@ func deferredClose(xs []int) <-chan int {
 		}
 	}()
 	return out
+}
+
+// workerPool mirrors cover.findBest's reworked pool: each worker defers
+// Done first, allocates its own reusable scratch once, then claims
+// partitions through an atomic counter with early returns on exhaustion
+// and cancellation. The deferred Done covers every return path, so the
+// pool is clean under both rules.
+func workerPool(parts []int, cancelled <-chan struct{}) {
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := make([]uint64, 128)
+			for {
+				select {
+				case <-cancelled:
+					return
+				default:
+				}
+				i := next.Add(1) - 1
+				if i >= int64(len(parts)) {
+					return
+				}
+				work(parts[i] + len(scratch))
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func detached() {

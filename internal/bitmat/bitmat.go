@@ -364,6 +364,22 @@ func (m *Matrix) Splice(remove *Vec) *Matrix {
 	return out
 }
 
+// SelectRows returns a new matrix holding the given rows in order — the
+// gene-compaction counterpart of Splice. After BitSplicing shrinks the
+// sample axis, genes whose remaining tumor row is all-zero can never raise
+// TP again; the cover loop drops them by selecting only the live rows (for
+// both matrices, with the same index list) and remapping the winner's gene
+// ids back through keep. The indices must be valid rows; they are copied
+// in the order given, so an ascending keep list preserves the strictly
+// increasing gene order the reduction relies on.
+func (m *Matrix) SelectRows(keep []int) *Matrix {
+	out := New(len(keep), m.samples)
+	for i, g := range keep {
+		copy(out.Row(i), m.Row(g))
+	}
+	return out
+}
+
 // extractBits compacts the bits of v selected by mask toward the low end
 // (a software PEXT).
 func extractBits(v, mask uint64) uint64 {
@@ -415,6 +431,20 @@ func AndWords(dst, a, b []uint64) {
 	for w := range dst {
 		dst[w] = a[w] & b[w]
 	}
+}
+
+// AndWordsPop writes a ∧ b into dst and returns the popcount of the
+// result. The cover kernels fold their loop-invariant prefix rows with
+// this instead of AndWords so the prefix tumor count — the input to the
+// bound-and-prune upper bound — comes out of the fold for free.
+func AndWordsPop(dst, a, b []uint64) int {
+	n := 0
+	for w := range dst {
+		v := a[w] & b[w]
+		dst[w] = v
+		n += bits.OnesCount64(v)
+	}
+	return n
 }
 
 // Vec is a bit-packed vector over samples, used for the active-tumor mask

@@ -100,6 +100,14 @@ type Workload struct {
 	// ("Incorporate memory latency into the scheduling algorithm", Sec. V).
 	// Ignored when Scheduler is EquiDistance.
 	LatencyAware bool
+	// PruneRatio discounts each partition's combination count by the given
+	// fraction before pricing, modeling the engine's bound-and-prune layer
+	// (docs/PRUNING.md). The sched curve's count is an UPPER bound — it is
+	// what an exhaustive scan would evaluate — and pruning only removes
+	// work, so any value in [0, 1) keeps the model conservative-to-exact.
+	// 0 (the default) prices the exhaustive upper bound. Measure a real
+	// run's ratio with DiscoverResult.PruningRatio.
+	PruneRatio float64
 }
 
 // BRCA4Hit returns the paper's principal scaling workload: 4-hit discovery
@@ -138,6 +146,8 @@ func (w Workload) Validate() error {
 		return fmt.Errorf("cluster: Iterations must be positive")
 	case w.SpliceShrink < 0 || w.SpliceShrink >= 1:
 		return fmt.Errorf("cluster: SpliceShrink must be in [0, 1)")
+	case w.PruneRatio < 0 || w.PruneRatio >= 1:
+		return fmt.Errorf("cluster: PruneRatio must be in [0, 1)")
 	}
 	switch w.Scheme {
 	case cover.Scheme2x2, cover.Scheme3x1, cover.Scheme2x1, cover.SchemePair,
@@ -272,12 +282,22 @@ func (w Workload) partitionsN(curve sched.Curve, d gpusim.DeviceSpec, gpus int) 
 	}
 }
 
+// combosAfterPruning discounts an exhaustive combination count by the
+// workload's modeled pruning ratio. The curve's count stays the pricing
+// upper bound at the default ratio of 0.
+func (w Workload) combosAfterPruning(combos uint64) uint64 {
+	if w.PruneRatio <= 0 {
+		return combos
+	}
+	return uint64(float64(combos) * (1 - w.PruneRatio))
+}
+
 // jobFor builds the device-model job for one partition. extraSlowdown is
 // the fault injector's straggler inflation (0 when disabled).
 func (w Workload) jobFor(curve sched.Curve, part sched.Partition, rowWords, device int, extraSlowdown float64) gpusim.Job {
 	return gpusim.Job{
 		Threads:       part.Size(),
-		Combos:        curve.PrefixWork(part.Hi) - curve.PrefixWork(part.Lo),
+		Combos:        w.combosAfterPruning(curve.PrefixWork(part.Hi) - curve.PrefixWork(part.Lo)),
 		RowWords:      rowWords,
 		PrefetchRows:  w.prefetchRows(),
 		Irregularity:  w.irregularity(),
@@ -341,6 +361,11 @@ type Report struct {
 	// Recovery reports the fault-injection and recovery accounting; nil for
 	// fault-free runs (see SimulateFaults).
 	Recovery *Recovery
+	// PruningRatio echoes Workload.PruneRatio: the modeled fraction of the
+	// sched curve's combination count discounted before pricing. The curve
+	// is an upper bound on the engine's actual work once bound-and-prune is
+	// on (docs/PRUNING.md); 0 means the exhaustive bound was priced.
+	PruningRatio float64
 }
 
 // Simulate prices a full run of the workload on the machine.
@@ -352,7 +377,7 @@ func Simulate(spec Spec, w Workload) (*Report, error) {
 		return nil, err
 	}
 	gpus := spec.GPUs()
-	rep := &Report{Spec: spec, Workload: w}
+	rep := &Report{Spec: spec, Workload: w, PruningRatio: w.PruneRatio}
 
 	// Per-iteration node compute times: nodes × iterations.
 	nodeBusy := make([][]float64, w.Iterations)
@@ -519,7 +544,7 @@ func WeakScaling(w Workload, nodeCounts []int) ([]ScalingPoint, error) {
 			part := parts[g%baseGPUs]
 			job := gpusim.Job{
 				Threads:      part.Size(),
-				Combos:       curve.PrefixWork(part.Hi) - curve.PrefixWork(part.Lo),
+				Combos:       w.combosAfterPruning(curve.PrefixWork(part.Hi) - curve.PrefixWork(part.Lo)),
 				RowWords:     rowWords,
 				PrefetchRows: prefetch,
 				Irregularity: irr,
@@ -573,7 +598,7 @@ func SingleGPUSeconds(spec Spec, w Workload) (float64, error) {
 	for iter := 0; iter < w.Iterations; iter++ {
 		job := gpusim.Job{
 			Threads:      curve.Threads(),
-			Combos:       curve.TotalWork(),
+			Combos:       w.combosAfterPruning(curve.TotalWork()),
 			RowWords:     w.words(tumorLeft),
 			PrefetchRows: w.prefetchRows(),
 			DeviceIndex:  0,

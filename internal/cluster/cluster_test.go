@@ -342,9 +342,13 @@ func TestDiscoverMatchesCoverRun(t *testing.T) {
 				if got.Steps[i].NewlyCovered != want.Steps[i].NewlyCovered {
 					t.Fatalf("hits=%d nodes=%d step %d: cover counts differ", hits, nodes, i)
 				}
-				if got.Steps[i].Evaluated != want.Steps[i].Evaluated {
-					t.Fatalf("hits=%d nodes=%d step %d: evaluated %d, want %d",
-						hits, nodes, i, got.Steps[i].Evaluated, want.Steps[i].Evaluated)
+				// The Evaluated/Pruned split depends on the partitioning (and
+				// worker timing); only the scanned total is deterministic.
+				gotScan := got.Steps[i].Evaluated + got.Steps[i].Pruned
+				wantScan := want.Steps[i].Evaluated + want.Steps[i].Pruned
+				if gotScan != wantScan {
+					t.Fatalf("hits=%d nodes=%d step %d: scanned %d, want %d",
+						hits, nodes, i, gotScan, wantScan)
 				}
 			}
 			if got.Covered != want.Covered || got.Uncoverable != want.Uncoverable {

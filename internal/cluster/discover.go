@@ -23,6 +23,14 @@ type DiscoverResult struct {
 	Uncoverable int
 	// VirtualSeconds is the modeled job time under the virtual clock.
 	VirtualSeconds float64
+	// PruningRatio is the measured fraction of the scanned combination
+	// space that bound-and-prune skipped: Pruned / (Evaluated + Pruned)
+	// over the whole run, every enumeration pass included. Zero when
+	// pruning is disabled (or never fired). The virtual clock does NOT
+	// apply this discount — the device model prices the sched curve's
+	// full combination count, an upper bound; see Workload.PruneRatio for
+	// the opt-in pricing discount.
+	PruningRatio float64
 	// Ranks is the per-rank compute/communication ledger.
 	Ranks []RankReport
 	// Recovery reports fault-injection and recovery accounting; nil for
@@ -123,7 +131,12 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 	spanCap := w.spanCap()
 
 	res := &DiscoverResult{}
-	var mu sync.Mutex // guards res.Steps appends from rank 0
+	var mu sync.Mutex // guards res writes from rank 0
+	var grand cover.Counts
+	sumCounts := func(a, b any) any {
+		x, y := a.(cover.Counts), b.(cover.Counts)
+		return cover.Counts{Evaluated: x.Evaluated + y.Evaluated, Pruned: x.Pruned + y.Pruned}
+	}
 
 	world := mpisim.NewWorld(spec.Nodes, spec.Comm)
 	err = world.Run(func(r *mpisim.Rank) error {
@@ -135,7 +148,7 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 			}
 			// Each of this rank's GPUs evaluates its partition.
 			local := reduce.None
-			var evaluated uint64
+			var counts cover.Counts
 			busiest := 0.0
 			for d := 0; d < spec.GPUsPerNode; d++ {
 				g := r.ID()*spec.GPUsPerNode + d
@@ -147,7 +160,8 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 				if best.Better(local) {
 					local = best
 				}
-				evaluated += n
+				counts.Evaluated += n.Evaluated
+				counts.Pruned += n.Pruned
 				m := spec.Device.Simulate(gpusim.Job{
 					Threads:      part.Size(),
 					Combos:       curve.PrefixWork(part.Hi) - curve.PrefixWork(part.Lo),
@@ -165,10 +179,16 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 
 			folded := r.Reduce(local, reduce.BytesPerRecord, combineCombo)
 			winner := r.Bcast(folded, reduce.BytesPerRecord).(reduce.Combo)
-			evalSum := r.Reduce(evaluated, 8, func(a, b any) any {
-				return a.(uint64) + b.(uint64)
-			})
-			totalEval := r.Bcast(evalSum, 8).(uint64)
+			// The work tally is a Counts pair now — 16 bytes on the wire
+			// instead of the old 8-byte evaluated sum.
+			evalSum := r.Reduce(counts, 2*8, sumCounts)
+			total := r.Bcast(evalSum, 2*8).(cover.Counts)
+			if r.ID() == 0 {
+				mu.Lock()
+				grand.Evaluated += total.Evaluated
+				grand.Pruned += total.Pruned
+				mu.Unlock()
+			}
 
 			if winner == reduce.None {
 				break
@@ -192,7 +212,8 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 					Combo:        winner,
 					NewlyCovered: newly,
 					ActiveAfter:  active.PopCount(),
-					Evaluated:    totalEval,
+					Evaluated:    total.Evaluated,
+					Pruned:       total.Pruned,
 				})
 				res.Covered += newly
 				mu.Unlock()
@@ -210,6 +231,9 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 		return nil, err
 	}
 	res.VirtualSeconds = spec.StartupSec + world.MaxClock()
+	if scanned := grand.Scanned(); scanned > 0 {
+		res.PruningRatio = float64(grand.Pruned) / float64(scanned)
+	}
 	for n := 0; n < spec.Nodes; n++ {
 		res.Ranks = append(res.Ranks, RankReport{
 			Rank:       n,

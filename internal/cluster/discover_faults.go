@@ -40,11 +40,15 @@ type hostGreedy struct {
 	covered     int
 	uncoverable int
 	worldIters  int
+	counts      cover.Counts
 }
 
 // runHostGreedy replays Discover's per-iteration loop with full-domain
-// enumeration. Full-domain Evaluated equals the sum over any partitioning,
-// so the steps match Discover's field for field.
+// enumeration. Full-domain Scanned (Evaluated + Pruned) equals the sum
+// over any partitioning, so the steps match Discover's on every
+// deterministic field; the Evaluated/Pruned split depends on how early
+// the shared incumbent rises, which differs between a full-domain scan
+// and per-range scans with range-local incumbents.
 func runHostGreedy(tumor, normal *bitmat.Matrix, opt cover.Options) (*hostGreedy, error) {
 	active := bitmat.AllOnes(tumor.Samples())
 	buf := make([]uint64, tumor.Words())
@@ -53,11 +57,13 @@ func runHostGreedy(tumor, normal *bitmat.Matrix, opt cover.Options) (*hostGreedy
 		if active.PopCount() == 0 {
 			break
 		}
-		winner, evaluated, err := cover.FindBest(tumor, normal, active, opt)
+		winner, cnt, err := cover.FindBest(tumor, normal, active, opt)
 		if err != nil {
 			return nil, err
 		}
 		hg.worldIters++
+		hg.counts.Evaluated += cnt.Evaluated
+		hg.counts.Pruned += cnt.Pruned
 		if winner == reduce.None {
 			break
 		}
@@ -75,7 +81,8 @@ func runHostGreedy(tumor, normal *bitmat.Matrix, opt cover.Options) (*hostGreedy
 			Combo:        winner,
 			NewlyCovered: newly,
 			ActiveAfter:  active.PopCount(),
-			Evaluated:    evaluated,
+			Evaluated:    cnt.Evaluated,
+			Pruned:       cnt.Pruned,
 		})
 		hg.covered += newly
 	}
@@ -126,7 +133,10 @@ func runDiscoverLeg(spec Spec, plan FaultPlan, busiest []float64,
 		world.FailRankAt(armedIdx, relFail)
 	}
 	entered := 0
-	sumUint64 := func(a, b any) any { return a.(uint64) + b.(uint64) }
+	sumCounts := func(a, b any) any {
+		x, y := a.(cover.Counts), b.(cover.Counts)
+		return cover.Counts{Evaluated: x.Evaluated + y.Evaluated, Pruned: x.Pruned + y.Pruned}
+	}
 	err := world.Run(func(r *mpisim.Rank) error {
 		for it := progress; it < totalIters; it++ {
 			if r.ID() == armedIdx {
@@ -139,8 +149,10 @@ func runDiscoverLeg(spec Spec, plan FaultPlan, busiest []float64,
 			r.Compute(block)
 			folded := r.Reduce(reduce.None, reduce.BytesPerRecord, combineCombo)
 			r.Bcast(folded, reduce.BytesPerRecord)
-			evalSum := r.Reduce(uint64(0), 8, sumUint64)
-			r.Bcast(evalSum, 8)
+			// Mirror Discover's 16-byte Counts tally collective so both
+			// paths price identical traffic.
+			evalSum := r.Reduce(cover.Counts{}, 2*8, sumCounts)
+			r.Bcast(evalSum, 2*8)
 		}
 		return nil
 	})
@@ -369,6 +381,9 @@ func DiscoverFaults(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options, 
 		VirtualSeconds: spec.StartupSec + elapsed,
 		Ranks:          ledger,
 		Recovery:       rec,
+	}
+	if scanned := hg.counts.Scanned(); scanned > 0 {
+		res.PruningRatio = float64(hg.counts.Pruned) / float64(scanned)
 	}
 	rec.OverheadSec = res.VirtualSeconds - faultFree
 	return res, nil

@@ -8,6 +8,25 @@ import (
 	"repro/internal/dataset"
 )
 
+// sameCover reports whether two step sequences describe the same
+// discovered cover. The Evaluated/Pruned split is not compared directly —
+// it depends on the domain partitioning and worker timing — only its
+// deterministic sum (the scanned total), alongside every other field.
+func sameCover(a, b []cover.Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Combo != y.Combo || x.NewlyCovered != y.NewlyCovered ||
+			x.ActiveAfter != y.ActiveAfter ||
+			x.Evaluated+x.Pruned != y.Evaluated+y.Pruned {
+			return false
+		}
+	}
+	return true
+}
+
 func TestFaultPlanValidation(t *testing.T) {
 	cases := []FaultPlan{
 		{MTBFSec: -1},
@@ -223,7 +242,7 @@ func TestDiscoverFaultsRecoversIdenticalCombos(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(got.Steps, want.Steps) {
+			if !sameCover(got.Steps, want.Steps) {
 				t.Fatalf("recovered steps differ from fault-free run:\n%+v\nvs\n%+v",
 					got.Steps, want.Steps)
 			}
@@ -269,7 +288,7 @@ func TestDiscoverFaultsEmptyPlanMatchesDiscover(t *testing.T) {
 		t.Fatalf("empty plan changed virtual time: %g != %g",
 			got.VirtualSeconds, want.VirtualSeconds)
 	}
-	if !reflect.DeepEqual(got.Steps, want.Steps) {
+	if !sameCover(got.Steps, want.Steps) {
 		t.Fatal("empty plan changed the discovered cover")
 	}
 	if got.Recovery.OverheadSec != 0 {

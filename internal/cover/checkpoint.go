@@ -35,8 +35,11 @@ type Checkpoint struct {
 	// records each combination's cover count for integrity checking.
 	Combos       [][]int `json:"combos"`
 	NewlyCovered []int   `json:"newly_covered"`
-	// Evaluated carries the cumulative enumeration count.
+	// Evaluated carries the cumulative count of combinations scored;
+	// Pruned the cumulative count skipped by bound-and-prune. Older
+	// checkpoints (same version) simply carry zero Pruned.
 	Evaluated uint64 `json:"evaluated"`
+	Pruned    uint64 `json:"pruned,omitempty"`
 }
 
 // checkpointVersion is the current wire format.
@@ -52,6 +55,7 @@ func (r *Result) ToCheckpoint(tumor, normal *bitmat.Matrix) *Checkpoint {
 		TumorFingerprint:  tumor.Fingerprint(),
 		NormalFingerprint: normal.Fingerprint(),
 		Evaluated:         r.Evaluated,
+		Pruned:            r.Pruned,
 	}
 	for _, s := range r.Steps {
 		cp.Combos = append(cp.Combos, s.Combo.GeneIDs())
@@ -106,7 +110,7 @@ func Resume(tumor, normal *bitmat.Matrix, opt Options, cp *Checkpoint) (*Result,
 		return nil, fmt.Errorf("cover: checkpoint does not match these matrices")
 	}
 
-	res := &Result{Options: opt, Evaluated: cp.Evaluated}
+	res := &Result{Options: opt, Evaluated: cp.Evaluated, Pruned: cp.Pruned}
 	active := bitmat.AllOnes(tumor.Samples())
 	buf := make([]uint64, tumor.Words())
 	for i, ids := range cp.Combos {
@@ -166,11 +170,12 @@ func continueGreedy(tumor, normal *bitmat.Matrix, opt Options, active *bitmat.Ve
 		if remaining == 0 {
 			return nil
 		}
-		best, evaluated, err := findBest(context.Background(), tumor, active, normal, opt, denom)
+		best, cnt, err := findBest(context.Background(), tumor, active, normal, opt, denom)
 		if err != nil {
 			return err
 		}
-		res.Evaluated += evaluated
+		res.Evaluated += cnt.Evaluated
+		res.Pruned += cnt.Pruned
 		if best == reduce.None {
 			return nil
 		}
@@ -189,7 +194,8 @@ func continueGreedy(tumor, normal *bitmat.Matrix, opt Options, active *bitmat.Ve
 			Combo:        best,
 			NewlyCovered: newly,
 			ActiveAfter:  active.PopCount(),
-			Evaluated:    evaluated,
+			Evaluated:    cnt.Evaluated,
+			Pruned:       cnt.Pruned,
 		})
 	}
 	// Stopped by the iteration cap; remaining samples may be coverable.

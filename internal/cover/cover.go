@@ -107,6 +107,18 @@ func (s Scheme) hits() int {
 	return 0
 }
 
+// prunable reports whether the scheme's kernel has an inner loop a prefix
+// bound can skip. The fully flattened pair and 4x1 kernels score exactly
+// one combination per thread: nothing is loop-invariant, so there is
+// nothing to prune.
+func (s Scheme) prunable() bool {
+	switch s {
+	case Scheme2x1, Scheme2x2, Scheme3x1, Scheme1x3:
+		return true
+	}
+	return false
+}
+
 // Scheduler selects the λ-range partitioner.
 type Scheduler int
 
@@ -149,6 +161,13 @@ type Options struct {
 	// BitSplice physically splices covered tumor samples out of the matrix
 	// after each iteration instead of masking them.
 	BitSplice bool
+	// NoPrune disables the bound-and-prune layer (docs/PRUNING.md): the
+	// process-wide shared incumbent, the kernels' prefix upper-bound
+	// checks, and the per-iteration gene compaction of BitSplice runs.
+	// Pruning never changes which combinations are returned — only how
+	// many are scored — so NoPrune exists for differential testing and for
+	// measuring the pruning ratio against an exhaustive scan.
+	NoPrune bool
 	// MaxIterations bounds the number of combinations reported; 0 means
 	// run until every coverable tumor sample is covered.
 	MaxIterations int
@@ -223,8 +242,15 @@ type Step struct {
 	// ActiveAfter is the number of tumor samples still uncovered after
 	// this iteration.
 	ActiveAfter int
-	// Evaluated is the number of combinations scored this iteration.
+	// Evaluated is the number of combinations actually scored this
+	// iteration.
 	Evaluated uint64
+	// Pruned is the number of combinations skipped by bound-and-prune this
+	// iteration (including whole gene-compaction eliminations). The sum
+	// Evaluated + Pruned is deterministic — it equals the enumeration size
+	// of the pass(es) — while the split between the two depends on worker
+	// timing: an incumbent that arrives earlier prunes more.
+	Pruned uint64
 	// Elapsed is the wall-clock time of the iteration.
 	Elapsed time.Duration
 }
@@ -238,8 +264,12 @@ type Result struct {
 	// Uncoverable is the number of tumor samples no h-combination covers
 	// (samples with fewer than h mutated genes can never be covered).
 	Uncoverable int
-	// Evaluated is the total number of combinations scored.
+	// Evaluated is the total number of combinations actually scored.
 	Evaluated uint64
+	// Pruned is the total number of combinations skipped by
+	// bound-and-prune. Evaluated + Pruned is the work an exhaustive run
+	// would have done.
+	Pruned uint64
 	// Elapsed is the total wall-clock time.
 	Elapsed time.Duration
 	// Options echoes the resolved configuration.
@@ -318,8 +348,56 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 		// The denominator stays pinned to the original cohort size so F
 		// values remain comparable across iterations whether or not
 		// BitSplicing shrinks the working matrix.
-		best, evaluated, err := findBest(ctx, cur, active, normal, opt, float64(nt+normal.Samples()))
-		res.Evaluated += evaluated
+		denom := float64(nt + normal.Samples())
+
+		// Gene compaction (docs/PRUNING.md): once splicing has removed all
+		// tumor samples a gene was mutated in, no combination containing it
+		// can have TP > 0, so the search runs on the surviving genes only
+		// and every dropped combination counts as pruned.
+		searchT, searchN := cur, normal
+		var keep []int
+		if opt.BitSplice && !opt.NoPrune {
+			keep = compactKeep(cur) // nil when no gene can be dropped
+			if keep != nil && len(keep) < opt.Hits {
+				// Every h-combination would include an all-zero tumor row,
+				// so TP = 0 across the board: the remaining samples are
+				// uncoverable and the whole pass is pruned.
+				if d, ok := domainSize(cur.Genes(), opt.Hits); ok {
+					res.Pruned += d
+				}
+				res.Uncoverable = remaining
+				break
+			}
+			if keep != nil {
+				searchT = cur.SelectRows(keep)
+				searchN = normal.SelectRows(keep)
+			}
+		}
+
+		best, cnt, err := findBest(ctx, searchT, active, searchN, opt, denom)
+		if err == nil && keep != nil {
+			if full, ok := domainSize(cur.Genes(), opt.Hits); ok {
+				if sub, ok2 := domainSize(searchT.Genes(), opt.Hits); ok2 {
+					cnt.Pruned += full - sub
+				}
+			}
+			if best != reduce.None && best.StrictlyAbove(float64(normal.Samples())/denom) {
+				// The compacted winner's F exceeds score(0, 0), which every
+				// dropped-gene combination is capped at, so it wins the full
+				// domain outright; remap its gene ids back.
+				best = remapCombo(best, keep)
+			} else {
+				// A dropped-gene combination could tie the compacted winner
+				// on F and beat it lexicographically: rescan the full
+				// domain so the tie-break is exact.
+				var cnt2 Counts
+				best, cnt2, err = findBest(ctx, cur, active, normal, opt, denom)
+				cnt.Evaluated += cnt2.Evaluated
+				cnt.Pruned += cnt2.Pruned
+			}
+		}
+		res.Evaluated += cnt.Evaluated
+		res.Pruned += cnt.Pruned
 		if err != nil {
 			res.Elapsed = time.Since(start)
 			return res, err
@@ -360,7 +438,8 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 			Combo:        best,
 			NewlyCovered: covered,
 			ActiveAfter:  activeAfter,
-			Evaluated:    evaluated,
+			Evaluated:    cnt.Evaluated,
+			Pruned:       cnt.Pruned,
 			Elapsed:      time.Since(iterStart),
 		}
 		res.Steps = append(res.Steps, step)
@@ -401,18 +480,84 @@ func vecFromWords(n int, words []uint64) *bitmat.Vec {
 	return v
 }
 
+// compactKeep returns the ascending gene indices whose tumor rows still
+// carry at least one active sample, or nil when no gene can be dropped.
+// The keep list stays ascending, so remapping compacted gene ids back
+// through it preserves both strict ordering inside a combination and the
+// lexicographic order between combinations.
+func compactKeep(tumor *bitmat.Matrix) []int {
+	g := tumor.Genes()
+	keep := make([]int, 0, g)
+	for i := 0; i < g; i++ {
+		nonzero := false
+		for _, w := range tumor.Row(i) {
+			if w != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if nonzero {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == g {
+		return nil
+	}
+	return keep
+}
+
+// remapCombo translates a combination found on a compacted matrix back to
+// the original gene ids through the keep list.
+func remapCombo(c reduce.Combo, keep []int) reduce.Combo {
+	for i, g := range c.Genes {
+		if g >= 0 {
+			c.Genes[i] = int32(keep[g])
+		}
+	}
+	return c
+}
+
+// domainSize returns C(genes, hits) — the enumeration size of one full
+// pass — with an overflow flag.
+func domainSize(genes, hits int) (uint64, bool) {
+	return combinat.Binomial(uint64(genes), uint64(hits))
+}
+
+// Counts tallies the work of an enumeration scan. The total Scanned is
+// deterministic — every combination of the domain is either scored or
+// provably dominated — while the Evaluated/Pruned split varies run to run
+// with more than one worker, because it depends on when the shared
+// incumbent rises.
+type Counts struct {
+	// Evaluated is the number of combinations actually scored.
+	Evaluated uint64
+	// Pruned is the number of combinations skipped because their prefix's
+	// upper bound fell strictly below the shared incumbent.
+	Pruned uint64
+}
+
+// Scanned returns the combinations accounted for: Evaluated + Pruned,
+// which equals the enumeration size of the scanned λ-domain.
+func (c Counts) Scanned() uint64 { return c.Evaluated + c.Pruned }
+
+// add accumulates another scan's counts.
+func (c *Counts) add(o Counts) {
+	c.Evaluated += o.Evaluated
+	c.Pruned += o.Pruned
+}
+
 // FindBest runs a single enumeration pass (one iteration's step 1–2) and
-// returns the best combination and the number of combinations evaluated.
-// The active vector selects which tumor samples still count toward TP; pass
-// nil for all. Exported for benchmarks and the simulator's per-iteration
+// returns the best combination and the scan's work counts. The active
+// vector selects which tumor samples still count toward TP; pass nil for
+// all. Exported for benchmarks and the simulator's per-iteration
 // accounting.
-func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (reduce.Combo, uint64, error) {
+func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (reduce.Combo, Counts, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
-		return reduce.None, 0, err
+		return reduce.None, Counts{}, err
 	}
 	if tumor.Genes() != normal.Genes() {
-		return reduce.None, 0, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+		return reduce.None, Counts{}, fmt.Errorf("cover: tumor has %d genes, normal has %d",
 			tumor.Genes(), normal.Genes())
 	}
 	if active == nil {
@@ -424,27 +569,30 @@ func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (re
 
 // FindBestRange runs the scheme kernel over a single λ-range [lo, hi) of
 // the combination space and returns that range's best combination and
-// evaluated count. It is the per-GPU unit of work in the distributed
+// work counts. It is the per-GPU unit of work in the distributed
 // pipeline: each MPI rank calls it for the partitions its GPUs own and
 // reduces the results (see internal/cluster). The λ-domain size is
-// C(G, 2) for SchemePair/2x1/2x2 and C(G, 3) for 3x1.
-func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, lo, hi uint64) (reduce.Combo, uint64, error) {
+// C(G, 2) for SchemePair/2x1/2x2 and C(G, 3) for 3x1. Pruning uses a
+// range-local incumbent (distributed callers share no memory), so a lone
+// range prunes less than a full FindBest over the same domain — but
+// returns the identical winner.
+func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, lo, hi uint64) (reduce.Combo, Counts, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
-		return reduce.None, 0, err
+		return reduce.None, Counts{}, err
 	}
 	if tumor.Genes() != normal.Genes() {
-		return reduce.None, 0, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+		return reduce.None, Counts{}, fmt.Errorf("cover: tumor has %d genes, normal has %d",
 			tumor.Genes(), normal.Genes())
 	}
 	if active == nil {
 		active = bitmat.AllOnes(tumor.Samples())
 	}
 	if hi < lo {
-		return reduce.None, 0, fmt.Errorf("cover: inverted range [%d, %d)", lo, hi)
+		return reduce.None, Counts{}, fmt.Errorf("cover: inverted range [%d, %d)", lo, hi)
 	}
 	if lo == hi {
-		return reduce.None, 0, nil
+		return reduce.None, Counts{}, nil
 	}
 	env := &kernelEnv{
 		tumor:  tumor,
@@ -454,7 +602,11 @@ func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options
 		denom:  float64(tumor.Samples() + normal.Samples()),
 		nn:     normal.Samples(),
 	}
-	best, n := runKernel(context.Background(), env, opt, sched.Partition{Lo: lo, Hi: hi})
+	if !opt.NoPrune && opt.Scheme.prunable() {
+		env.shared = reduce.NewSharedBest()
+	}
+	s := newKernelScratch(tumor.Words(), normal.Words())
+	best, n := runKernel(context.Background(), env, opt, sched.Partition{Lo: lo, Hi: hi}, s)
 	return best, n, nil
 }
 
@@ -467,7 +619,16 @@ func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options
 // error is returned. Chunking does not change the result: the reduction is
 // a deterministic total order (reduce.Combo.Better), independent of how
 // the domain is partitioned.
-func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, uint64, error) {
+//
+// Unless NoPrune is set, the workers share one incumbent (reduce.SharedBest)
+// that the kernels raise as they find better combinations and consult to
+// skip strictly dominated inner loops. The winner is unaffected: the
+// incumbent's F never exceeds the true maximum (it is always some scored
+// combination's F), pruning is strict, and the partition holding the true
+// winner therefore never skips it — only the Evaluated/Pruned split is
+// timing-dependent. Each worker also owns one kernelScratch for its whole
+// lifetime, so a pass allocates O(workers) buffers, not O(partitions).
+func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, Counts, error) {
 	g := uint64(tumor.Genes())
 	var curve sched.Curve
 	switch opt.Scheme {
@@ -486,7 +647,7 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 	default:
 		// Scheme arrives from CLI flags and config files; an unknown value
 		// is untrusted input, not a programmer error.
-		return reduce.None, 0, fmt.Errorf("cover: unresolved scheme %v", opt.Scheme)
+		return reduce.None, Counts{}, fmt.Errorf("cover: unresolved scheme %v", opt.Scheme)
 	}
 
 	workers := opt.Workers
@@ -504,7 +665,7 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 		parts, err = sched.EquiArea(curve, chunks)
 	}
 	if err != nil {
-		return reduce.None, 0, err
+		return reduce.None, Counts{}, err
 	}
 
 	env := &kernelEnv{
@@ -515,18 +676,24 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 		denom:  denom,
 		nn:     normal.Samples(),
 	}
+	if !opt.NoPrune && opt.Scheme.prunable() {
+		env.shared = reduce.NewSharedBest()
+	}
 
 	bests := make([]reduce.Combo, len(parts))
 	for i := range bests {
 		bests[i] = reduce.None
 	}
-	counts := make([]uint64, len(parts))
+	counts := make([]Counts, len(parts))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker for its whole lifetime — the kernels
+			// themselves allocate nothing per partition.
+			s := newKernelScratch(tumor.Words(), normal.Words())
 			for {
 				if ctx.Err() != nil {
 					return
@@ -538,15 +705,15 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 				if parts[i].Size() == 0 {
 					continue
 				}
-				bests[i], counts[i] = runKernel(ctx, env, opt, parts[i])
+				bests[i], counts[i] = runKernel(ctx, env, opt, parts[i], s)
 			}
 		}()
 	}
 	wg.Wait()
 
-	var total uint64
+	var total Counts
 	for _, c := range counts {
-		total += c
+		total.add(c)
 	}
 	// Rank-0 reduction across workers. On cancellation the reduction over
 	// the completed partitions is still returned alongside the error so
@@ -554,7 +721,9 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 	return reduce.Max(bests), total, ctx.Err()
 }
 
-// kernelEnv bundles the per-iteration read-only state shared by workers.
+// kernelEnv bundles the per-iteration read-only state shared by workers,
+// plus the one mutable rendezvous point: the shared incumbent (nil when
+// pruning is off or the scheme has no inner loop to skip).
 type kernelEnv struct {
 	tumor  *bitmat.Matrix
 	normal *bitmat.Matrix
@@ -562,6 +731,7 @@ type kernelEnv struct {
 	alpha  float64
 	denom  float64
 	nn     int
+	shared *reduce.SharedBest
 }
 
 // score computes F from a TP and a normal-side AND count.
@@ -570,16 +740,42 @@ func (e *kernelEnv) score(tp, normalHits int) float64 {
 	return (e.alpha*float64(tp) + float64(tn)) / e.denom
 }
 
+// offer publishes a thread-best improvement to the shared incumbent so
+// other workers can prune against it.
+func (e *kernelEnv) offer(c reduce.Combo) {
+	if e.shared != nil {
+		e.shared.Offer(c)
+	}
+}
+
+// prune reports whether a prefix with the given tumor popcount is strictly
+// dominated by the incumbent. The prefix's upper bound is the score its
+// suffix would reach by losing no tumor sample and hitting no normal —
+// score(tpPrefix, 0) — valid because F is monotone under AND and score
+// itself is monotone in tp, so float rounding cannot invert the bound.
+func (e *kernelEnv) prune(tpPrefix int) bool {
+	return e.shared != nil && e.shared.ShouldPrune(e.score(tpPrefix, 0))
+}
+
+// prune3 is prune for the unfolded 3-hit paths, which have no prefix
+// buffer to harvest a popcount from: it pays one extra three-way popcount
+// sweep over the prefix rows.
+func (e *kernelEnv) prune3(a, b, c []uint64) bool {
+	return e.shared != nil && e.shared.ShouldPrune(e.score(bitmat.PopAnd3(a, b, c), 0))
+}
+
 // runKernel dispatches the scheme kernel over one λ-partition, folding
 // per-thread results through block reduction and a tree reduction, exactly
 // mirroring the maxF / parallelReduceMax kernel pair. A canceled context
 // skips the partition entirely (one partition is the cancellation
-// granularity; the kernels themselves never block).
-func runKernel(ctx context.Context, env *kernelEnv, opt Options, part sched.Partition) (reduce.Combo, uint64) {
+// granularity; the kernels themselves never block). The scratch provides
+// the kernel's fold buffers and the block-reduction output slice, both
+// reused across the calling worker's partitions.
+func runKernel(ctx context.Context, env *kernelEnv, opt Options, part sched.Partition, s *kernelScratch) (reduce.Combo, Counts) {
 	if ctx.Err() != nil {
-		return reduce.None, 0
+		return reduce.None, Counts{}
 	}
-	var blockBests []reduce.Combo
+	blockBests := s.blockBests[:0]
 	blockBest := reduce.None
 	inBlock := 0
 	flush := func() {
@@ -599,21 +795,22 @@ func runKernel(ctx context.Context, env *kernelEnv, opt Options, part sched.Part
 		}
 	}
 
-	var evaluated uint64
+	var n Counts
 	switch opt.Scheme {
 	case SchemePair:
-		evaluated = kernelPair(env, part, observe)
+		n.Evaluated = kernelPair(env, part, observe)
 	case Scheme2x1:
-		evaluated = kernel2x1(env, opt, part, observe)
+		n = kernel2x1(env, opt, part, s, observe)
 	case Scheme2x2:
-		evaluated = kernel2x2(env, part, observe)
+		n = kernel2x2(env, part, s, observe)
 	case Scheme3x1:
-		evaluated = kernel3x1(env, part, observe)
+		n = kernel3x1(env, part, s, observe)
 	case Scheme1x3:
-		evaluated = kernel1x3(env, part, observe)
+		n = kernel1x3(env, part, s, observe)
 	case Scheme4x1:
-		evaluated = kernel4x1(env, part, observe)
+		n.Evaluated = kernel4x1(env, part, observe)
 	}
 	flush()
-	return reduce.TreeReduce(blockBests), evaluated
+	s.blockBests = blockBests
+	return reduce.TreeReduceInPlace(blockBests), n
 }

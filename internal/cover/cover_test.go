@@ -123,7 +123,9 @@ func TestMemOptsDoNotChangeResults(t *testing.T) {
 }
 
 func TestEvaluatedCounts(t *testing.T) {
-	// Every scheme must evaluate exactly C(G, h) combinations.
+	// Every scheme must account for exactly C(G, h) combinations. With
+	// pruning off, all of them are evaluated; with pruning on, the
+	// Evaluated/Pruned split moves but the scanned total is conserved.
 	tumor, normal := randomPair(17, 12, 30, 30, 0.4)
 	for _, tc := range []struct {
 		opt  Options
@@ -136,12 +138,23 @@ func TestEvaluatedCounts(t *testing.T) {
 		{Options{Hits: 4, Scheme: Scheme1x3}, 495},
 		{Options{Hits: 4, Scheme: Scheme4x1}, 495},
 	} {
-		_, n, err := FindBest(tumor, normal, nil, tc.opt)
+		opt := tc.opt
+		opt.NoPrune = true
+		_, n, err := FindBest(tumor, normal, nil, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if n != tc.want {
-			t.Fatalf("%s: evaluated %d combinations, want %d", tc.opt.Scheme, n, tc.want)
+		if n.Evaluated != tc.want || n.Pruned != 0 {
+			t.Fatalf("%s NoPrune: evaluated %d (pruned %d), want %d evaluated",
+				tc.opt.Scheme, n.Evaluated, n.Pruned, tc.want)
+		}
+		_, n, err = FindBest(tumor, normal, nil, tc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Scanned() != tc.want {
+			t.Fatalf("%s: scanned %d combinations (evaluated %d + pruned %d), want %d",
+				tc.opt.Scheme, n.Scanned(), n.Evaluated, n.Pruned, tc.want)
 		}
 	}
 }
@@ -455,8 +468,8 @@ func TestAllFourHitSchemesAgree(t *testing.T) {
 			if got != want {
 				t.Fatalf("%s workers=%d: %+v != %+v", scheme, workers, got, want)
 			}
-			if n != 1820 { // C(16,4)
-				t.Fatalf("%s evaluated %d, want C(16,4)=1820", scheme, n)
+			if n.Scanned() != 1820 { // C(16,4)
+				t.Fatalf("%s scanned %d, want C(16,4)=1820", scheme, n.Scanned())
 			}
 		}
 	}
@@ -660,7 +673,7 @@ func TestRunCtxCancellationMidIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fullPass := full.Steps[0].Evaluated
+	fullPass := full.Steps[0].Evaluated + full.Steps[0].Pruned
 
 	// Err calls 1–3 (RunCtx loop top, worker claim of partition 0,
 	// runKernel entry) see nil; call 4 — the claim of partition 1 — sees
@@ -676,8 +689,8 @@ func TestRunCtxCancellationMidIteration(t *testing.T) {
 	if res.Evaluated == 0 {
 		t.Fatal("partition 0 completed before cancellation; its work must be counted")
 	}
-	if res.Evaluated >= fullPass {
-		t.Fatalf("cancelled run evaluated %d of a %d-combination pass — cancellation did not stop within one partition",
-			res.Evaluated, fullPass)
+	if res.Evaluated+res.Pruned >= fullPass {
+		t.Fatalf("cancelled run scanned %d of a %d-combination pass — cancellation did not stop within one partition",
+			res.Evaluated+res.Pruned, fullPass)
 	}
 }

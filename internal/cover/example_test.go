@@ -36,12 +36,12 @@ func ExampleFindBest() {
 	tumor.Set(0, 1)
 	tumor.Set(1, 1)
 	normal.Set(2, 0)
-	best, evaluated, err := cover.FindBest(tumor, normal, nil, cover.Options{Hits: 2, Workers: 1})
+	best, counts, err := cover.FindBest(tumor, normal, nil, cover.Options{Hits: 2, Workers: 1})
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	fmt.Println(best.GeneIDs(), evaluated) // C(3,2) = 3 combinations scored
+	fmt.Println(best.GeneIDs(), counts.Evaluated) // C(3,2) = 3 combinations scored
 	// Output:
 	// [0 1] 3
 }

@@ -137,7 +137,11 @@ func (d DeviceSpec) Validate() error {
 type Job struct {
 	// Threads is the number of λ threads assigned.
 	Threads uint64
-	// Combos is the number of combinations those threads evaluate.
+	// Combos is the number of combinations those threads score. Callers
+	// pricing from a sched curve pass an exhaustive count, which is an
+	// UPPER bound once the engine's bound-and-prune layer is on — the
+	// pruned engine evaluates at most this many (docs/PRUNING.md;
+	// cluster.Workload.PruneRatio applies an optional discount).
 	Combos uint64
 	// RowWords is the packed words per gene row summed over the tumor and
 	// normal matrices (the words one combination's inner iteration

@@ -47,6 +47,36 @@ func NewCombo(f float64, genes ...int) Combo {
 	return c
 }
 
+// The fixed-arity constructors below are what the enumeration kernels
+// call once per scored combination. Unlike the variadic NewCombo they are
+// allocation-free: a variadic call site materializes a []int that escapes
+// through NewCombo's diagnostic panic path, which would put one heap
+// allocation on the innermost loop of every kernel.
+
+// NewCombo2 builds a 2-hit Combo from genes a < b.
+func NewCombo2(f float64, a, b int) Combo {
+	if a >= b {
+		panic("reduce: genes not strictly increasing")
+	}
+	return Combo{Genes: [4]int32{int32(a), int32(b), -1, -1}, F: f}
+}
+
+// NewCombo3 builds a 3-hit Combo from genes a < b < c.
+func NewCombo3(f float64, a, b, c int) Combo {
+	if a >= b || b >= c {
+		panic("reduce: genes not strictly increasing")
+	}
+	return Combo{Genes: [4]int32{int32(a), int32(b), int32(c), -1}, F: f}
+}
+
+// NewCombo4 builds a 4-hit Combo from genes a < b < c < d.
+func NewCombo4(f float64, a, b, c, d int) Combo {
+	if a >= b || b >= c || c >= d {
+		panic("reduce: genes not strictly increasing")
+	}
+	return Combo{Genes: [4]int32{int32(a), int32(b), int32(c), int32(d)}, F: f}
+}
+
 // String renders the combination as "[3 7 12 19] F=0.8342".
 func (c Combo) String() string {
 	return fmt.Sprintf("%v F=%.4f", c.GeneIDs(), c.F)
@@ -98,6 +128,16 @@ func (c Combo) Better(o Combo) bool {
 	return false
 }
 
+// StrictlyAbove reports whether c's F strictly exceeds the given score.
+// It exists so bound-and-prune callers outside this package can compare an
+// F against an upper bound without writing a direct float comparison (the
+// floatcompare analyzer reserves those for the canonical comparators
+// here). Strictness matters: a combination that merely ties a bound could
+// still lose the lexicographic tie-break to something under the bound.
+func (c Combo) StrictlyAbove(score float64) bool {
+	return c.F > score
+}
+
 // Max reduces a slice with a sequential scan — the ground-truth topology.
 func Max(combos []Combo) Combo {
 	best := None
@@ -140,6 +180,16 @@ func TreeReduce(combos []Combo) Combo {
 	}
 	buf := make([]Combo, len(combos))
 	copy(buf, combos)
+	return TreeReduceInPlace(buf)
+}
+
+// TreeReduceInPlace is TreeReduce without the defensive copy: the slice is
+// folded in place. Callers that own the slice — the cover workers' reusable
+// per-partition scratch — avoid one allocation per reduction.
+func TreeReduceInPlace(buf []Combo) Combo {
+	if len(buf) == 0 {
+		return None
+	}
 	for n := len(buf); n > 1; {
 		half := (n + 1) / 2
 		for i := 0; i < n/2; i++ {
