@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchfull reports examples faults clean
+.PHONY: all build vet lint test race bench benchfull reports examples faults chaos clean
 
 all: build vet lint test
 
@@ -48,6 +48,12 @@ examples:
 faults:
 	$(GO) run ./cmd/simscale -mode campaign -nodes 8 -faults -fault-policy restart \
 		-fault-seed 1 -fault-mtbf-hours 24 -fault-stragglers 0.02 -checkpoint-every 3
+
+# Real fault injection: crash-resume property tests, failpoint scenarios,
+# corruption fallback, and quarantine paths under the race detector
+# (see docs/ROBUSTNESS.md).
+chaos:
+	$(GO) test -race -count=1 ./internal/harness ./internal/failpoint ./internal/ckptstore
 
 clean:
 	$(GO) clean ./...

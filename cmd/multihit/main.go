@@ -15,16 +15,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/ckptstore"
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/dataset"
+	"repro/internal/failpoint"
+	"repro/internal/harness"
 	"repro/internal/reduce"
 	"repro/internal/stats"
 )
@@ -43,10 +48,25 @@ func main() {
 	maxIter := flag.Int("max-iter", 0, "cap on discovered combinations (0 = run to completion)")
 	seed := flag.Int64("seed", 42, "cohort generation seed")
 	verbose := flag.Bool("v", false, "print per-iteration details")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file: resumed from if present, written after the run")
+	checkpoint := flag.String("checkpoint", "", "legacy single-file checkpoint: resumed from if present, written after the run")
+	ckptDir := flag.String("checkpoint-dir", "", "supervised mode: generational crash-safe checkpoint store directory")
+	resume := flag.Bool("resume", false, "supervised mode: resume from -checkpoint-dir (fails if there is nothing to resume)")
+	deadline := flag.Duration("deadline", 0, "supervised mode: wall-clock budget; on expiry the best-so-far cover is checkpointed and printed")
+	chaos := flag.String("chaos", "", "failpoint specs to arm, e.g. 'harness/crash=panic@1;cover/kernel=delay(5ms)'")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (machine-readable)")
 	topk := flag.Int("topk", 0, "instead of the greedy cover, print the K best combinations of one pass")
 	flag.Parse()
+
+	// Chaos first: failpoints from the environment, then the flag, so a
+	// scripted scenario can arm injection before any IO happens.
+	if _, err := failpoint.FromEnv(); err != nil {
+		fatal(err)
+	}
+	if *chaos != "" {
+		if _, err := failpoint.EnableSpecs(*chaos); err != nil {
+			fatal(err)
+		}
+	}
 
 	var cohort *dataset.Cohort
 	if *cohortFile != "" {
@@ -107,6 +127,9 @@ func main() {
 	}
 
 	if *hits == 5 {
+		if *ckptDir != "" || *resume || *deadline > 0 {
+			fatal(fmt.Errorf("the supervised runner does not support the 5-hit extension path"))
+		}
 		run5(cohort, *maxIter)
 		return
 	}
@@ -155,11 +178,20 @@ func main() {
 		return
 	}
 
+	if *ckptDir != "" || *resume || *deadline > 0 {
+		runSupervised(cohort, opt, *ckptDir, *resume, *deadline, *jsonOut, *verbose)
+		return
+	}
+
 	start := time.Now()
 	var res *core.Result
 	if *checkpoint != "" {
 		if _, statErr := os.Stat(*checkpoint); statErr == nil {
 			res = resumeFromCheckpoint(cohort, opt, *checkpoint)
+		} else if !errors.Is(statErr, os.ErrNotExist) {
+			// Never silently start fresh because the checkpoint could not
+			// be examined — that would discard the prior leg's work.
+			fatal(fmt.Errorf("checkpoint %s: %w", *checkpoint, statErr))
 		}
 	}
 	if res == nil {
@@ -201,6 +233,115 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+}
+
+// runSupervised executes the durable supervised runner (internal/harness):
+// generational checkpoints, per-partition retry and quarantine, walltime
+// deadline, and SIGINT/SIGTERM checkpoint-and-exit.
+func runSupervised(cohort *dataset.Cohort, opt cover.Options, dir string, resume bool, deadline time.Duration, jsonOut, verbose bool) {
+	hopt := harness.Options{Cover: opt, Resume: resume, Deadline: deadline}
+	if dir != "" {
+		store, err := ckptstore.Open(dir, ckptstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		hopt.Store = store
+	} else if resume {
+		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+	if verbose {
+		hopt.OnEvent = func(e harness.Event) {
+			switch e.Kind {
+			case harness.EventRetry:
+				fmt.Fprintf(os.Stderr, "multihit: retrying partition [%d,%d) after attempt %d: %v\n",
+					e.Partition.Lo, e.Partition.Hi, e.Attempt, e.Err)
+			case harness.EventQuarantine:
+				fmt.Fprintf(os.Stderr, "multihit: quarantined partition [%d,%d) after %d attempts: %v\n",
+					e.Partition.Lo, e.Partition.Hi, e.Attempt, e.Err)
+			case harness.EventCheckpoint:
+				fmt.Fprintf(os.Stderr, "multihit: checkpointed %d steps as generation %d\n",
+					e.Step+1, e.Generation)
+			}
+		}
+	}
+	ctx, stop := harness.SignalContext(context.Background())
+	defer stop()
+	start := time.Now()
+	res, err := harness.Run(ctx, cohort.Tumor, cohort.Normal, hopt)
+	if err != nil {
+		// One-line diagnostic, non-zero exit — a failed resume (empty
+		// store, corrupt generations, mismatched cohort) must never
+		// silently restart the search from scratch.
+		fatal(err)
+	}
+	if !jsonOut && res.Resumed {
+		fmt.Printf("resumed from generation %d: %d steps replayed\n",
+			res.ResumedGeneration, res.ReplayedSteps)
+		if res.SkippedGenerations > 0 {
+			fmt.Printf("skipped %d corrupt newer generation(s)\n", res.SkippedGenerations)
+		}
+	}
+
+	out := &core.Result{
+		Cancer:      cohort.Spec.Code,
+		Covered:     res.Covered,
+		Uncoverable: res.Uncoverable,
+		Evaluated:   res.Evaluated,
+		Elapsed:     res.Elapsed,
+	}
+	for _, step := range res.Steps {
+		ids := step.Combo.GeneIDs()
+		combo := core.Combo{GeneIDs: ids, F: step.Combo.F, NewlyCovered: step.NewlyCovered}
+		for _, id := range ids {
+			combo.Symbols = append(combo.Symbols, cohort.GeneSymbols[id])
+		}
+		out.Combos = append(out.Combos, combo)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			*core.Result
+			Stop                string
+			Partial             bool
+			Unscanned           uint64               `json:",omitempty"`
+			Quarantined         []harness.Quarantine `json:",omitempty"`
+			Resumed             bool                 `json:",omitempty"`
+			ResumedGeneration   uint64               `json:",omitempty"`
+			ReplayedSteps       int                  `json:",omitempty"`
+			SkippedGenerations  int                  `json:",omitempty"`
+			PersistedGeneration uint64               `json:",omitempty"`
+		}{out, res.Stop.String(), res.Partial, res.Unscanned, res.Quarantined,
+			res.Resumed, res.ResumedGeneration, res.ReplayedSteps,
+			res.SkippedGenerations, res.PersistedGeneration}); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("\n%d combinations in %s (%d combinations scored):\n",
+			len(out.Combos), time.Since(start).Round(time.Millisecond), out.Evaluated)
+		for i, combo := range out.Combos {
+			fmt.Printf("  %2d. %s\n", i+1, combo)
+		}
+		fmt.Printf("\ncovered %d of %d tumor samples (%s); %d uncoverable\n",
+			out.Covered, cohort.Nt(),
+			stats.Percent(float64(out.Covered)/float64(cohort.Nt())), out.Uncoverable)
+		if res.Partial {
+			fmt.Printf("PARTIAL result (%s): the cover above is best-so-far, not final\n", res.Stop)
+		}
+		for _, q := range res.Quarantined {
+			fmt.Printf("quarantined: step %d, λ-range [%d,%d) (%d combinations unscanned) after %d attempts: %s\n",
+				q.Step, q.Lo, q.Hi, q.Size(), q.Attempts, q.LastError)
+		}
+		if res.PersistedGeneration > 0 {
+			fmt.Printf("checkpoint: generation %d in %s\n", res.PersistedGeneration, dir)
+		}
+	}
+	if res.Stop != harness.StopCompleted {
+		// Early-stopped runs exit non-zero so batch scripts can tell a
+		// walltime kill from natural completion and schedule the next leg.
+		os.Exit(3)
 	}
 }
 

@@ -38,6 +38,7 @@ var scope = map[string]bool{
 	"cluster": true,
 	"mpisim":  true,
 	"gpusim":  true,
+	"harness": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -9,5 +9,5 @@ import (
 
 func TestGoroleak(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), goroleak.Analyzer,
-		"cluster", "offpath")
+		"cluster", "offpath", "harness")
 }

@@ -1,0 +1,88 @@
+// Package harness stands in for internal/harness — the supervised
+// runner is inside the goroleak scope because its partition workers feed
+// a WaitGroup the greedy loop blocks on every step.
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// supervisedPool pins the supervisor's recover-and-retry worker pattern:
+// Done is deferred before any work, partitions are claimed through an
+// atomic counter, and the per-partition recover lives in a helper the
+// worker calls — not in the goroutine body — so every return path
+// (exhaustion, cancellation, repeated failure) still signals. Clean
+// under both rules.
+func supervisedPool(parts []int, cancelled <-chan struct{}) {
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-cancelled:
+					return
+				default:
+				}
+				i := next.Add(1) - 1
+				if i >= int64(len(parts)) {
+					return
+				}
+				for attempt := 0; attempt <= 2; attempt++ {
+					if scanOnce(parts[i]) == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scanOnce converts a scan panic into an error for the retry loop.
+func scanOnce(part int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = asError(rec)
+		}
+	}()
+	work(part)
+	return nil
+}
+
+// fireAndForgetRetry is the broken variant: moving the retry loop into a
+// bare goroutine drops the completion signal, so the supervisor can
+// return while partitions are still being scanned.
+func fireAndForgetRetry(parts []int) {
+	for _, p := range parts {
+		go func(p int) { // want `goroutine has no completion signal`
+			for attempt := 0; attempt <= 2; attempt++ {
+				if scanOnce(p) == nil {
+					return
+				}
+			}
+		}(p)
+	}
+}
+
+// lateDone is the other broken variant: Done after the retry loop with
+// an early return on success skips the signal.
+func lateDone(wg *sync.WaitGroup, parts []int) {
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p int) { // want `WaitGroup.Done is not deferred and the goroutine has early returns`
+			if scanOnce(p) == nil {
+				return
+			}
+			work(p)
+			wg.Done()
+		}(p)
+	}
+}
+
+func work(int) {}
+
+func asError(any) error { return nil }

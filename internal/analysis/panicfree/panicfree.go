@@ -45,6 +45,7 @@ var scope = map[string]bool{
 	"sched":   true,
 	"mpisim":  true,
 	"gpusim":  true,
+	"harness": true,
 }
 
 func run(pass *analysis.Pass) error {

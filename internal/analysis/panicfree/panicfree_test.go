@@ -9,5 +9,5 @@ import (
 
 func TestPanicfree(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), panicfree.Analyzer,
-		"gpusim", "cover")
+		"gpusim", "cover", "harness")
 }

@@ -1,0 +1,43 @@
+// Package harness stands in for internal/harness — the supervised
+// runner exists to SURVIVE panics, so it must not originate any: a panic
+// in the supervisor kills the whole campaign the per-partition recover
+// was protecting.
+package harness
+
+// scanOnce is the approved recover-and-retry shape: recovering and
+// converting to an error is clean — only originating a panic is flagged.
+func scanOnce(part int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = asError(rec)
+		}
+	}()
+	scan(part)
+	return nil
+}
+
+// validateOptions is the broken shape: supervisor configuration comes
+// from flags and env vars, so rejecting it must be an error return.
+func validateOptions(retries int) {
+	if retries < 0 {
+		panic("harness: negative MaxRetries") // want `panic on the long-running cluster path`
+	}
+}
+
+// rethrow pins that re-panicking a foreign recover value — the pattern
+// that keeps real bugs loud while injected faults are retried — needs an
+// explicit suppression naming why.
+func rethrow(part int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			//lint:allow panicfree non-injected panics are programmer errors and must stay loud
+			panic(rec)
+		}
+	}()
+	scan(part)
+	return nil
+}
+
+func scan(int) {}
+
+func asError(any) error { return nil }

@@ -1,0 +1,293 @@
+package ckptstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/failpoint"
+)
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	payload := []byte(`{"version":1,"hits":3}`)
+	gen, err := s.Save(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("first generation = %d, want 1", gen)
+	}
+	snap, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 1 || !bytes.Equal(snap.Payload, payload) || len(snap.Skipped) != 0 {
+		t.Fatalf("loaded %+v", snap)
+	}
+}
+
+func TestEmptyDirIsErrNoCheckpoint(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if _, err := s.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store load = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestRetainPrunesOldGenerations(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{Retain: 2})
+	for i := 0; i < 5; i++ {
+		if _, err := s.Save([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 4 || gens[1] != 5 {
+		t.Fatalf("retained generations %v, want [4 5]", gens)
+	}
+	snap, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 5 || snap.Payload[0] != 4 {
+		t.Fatalf("newest = gen %d payload %v", snap.Generation, snap.Payload)
+	}
+}
+
+func TestReopenContinuesNumbering(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if _, err := s.Save([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	gen, err := s2.Save([]byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 {
+		t.Fatalf("generation after reopen = %d, want 3", gen)
+	}
+}
+
+// corrupt mutates the newest generation's file in place.
+func corruptNewest(t *testing.T, s *Store, mutate func([]byte) []byte) uint64 {
+	t.Helper()
+	gens, err := s.Generations()
+	if err != nil || len(gens) == 0 {
+		t.Fatalf("no generations to corrupt: %v", err)
+	}
+	newest := gens[len(gens)-1]
+	path := s.path(newest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return newest
+}
+
+func TestCorruptionFallsBackToPreviousGeneration(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated-mid-payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"truncated-mid-frame", func(b []byte) []byte { return b[:headerSize+3] }},
+		{"truncated-to-header", func(b []byte) []byte { return b[:headerSize] }},
+		{"flipped-crc-byte", func(b []byte) []byte {
+			b[headerSize+5] ^= 0xff // inside the stored CRC
+			return b
+		}},
+		{"flipped-payload-byte", func(b []byte) []byte {
+			b[len(b)-1] ^= 0x01
+			return b
+		}},
+		{"bad-magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}},
+		{"bad-format-version", func(b []byte) []byte {
+			b[len(magic)] = 99
+			return b
+		}},
+		{"empty-file", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustOpen(t, t.TempDir(), Options{})
+			if _, err := s.Save([]byte("good-old")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Save([]byte("bad-new")); err != nil {
+				t.Fatal(err)
+			}
+			bad := corruptNewest(t, s, tc.mutate)
+			snap, err := s.Load()
+			if err != nil {
+				t.Fatalf("load with corrupt newest: %v", err)
+			}
+			if snap.Generation != 1 || string(snap.Payload) != "good-old" {
+				t.Fatalf("fell back to gen %d payload %q", snap.Generation, snap.Payload)
+			}
+			if len(snap.Skipped) != 1 || snap.Skipped[0].Generation != bad {
+				t.Fatalf("skipped = %+v, want generation %d", snap.Skipped, bad)
+			}
+			if !errors.Is(snap.Skipped[0].Err, ErrCorrupt) {
+				t.Fatalf("skip reason %v does not wrap ErrCorrupt", snap.Skipped[0].Err)
+			}
+		})
+	}
+}
+
+func TestAllGenerationsCorruptIsErrCorrupt(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if _, err := s.Save([]byte("only")); err != nil {
+		t.Fatal(err)
+	}
+	corruptNewest(t, s, func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b })
+	_, err := s.Load()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("load = %v, want ErrCorrupt", err)
+	}
+	if errors.Is(err, ErrNoCheckpoint) {
+		t.Fatal("corrupt store misreported as empty")
+	}
+}
+
+func TestTornRenameTempSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if _, err := s.Save([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between fsync and rename via the failpoint: the
+	// temp file must stay behind, the generation must not exist.
+	if err := failpoint.Enable("ckptstore/rename", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	if _, err := s.Save([]byte("torn")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("save under rename failpoint = %v", err)
+	}
+	temps, _ := filepath.Glob(filepath.Join(dir, "*"+tempExt))
+	if len(temps) != 1 {
+		t.Fatalf("torn rename left %d temp files, want 1", len(temps))
+	}
+	// Reopen: the temp is swept, the committed generation still loads,
+	// and numbering does not reuse the torn slot's bytes.
+	s2 := mustOpen(t, dir, Options{})
+	temps, _ = filepath.Glob(filepath.Join(dir, "*"+tempExt))
+	if len(temps) != 0 {
+		t.Fatalf("open left %d temp files behind", len(temps))
+	}
+	snap, err := s2.Load()
+	if err != nil || string(snap.Payload) != "committed" {
+		t.Fatalf("after torn rename: %q, %v", snap.Payload, err)
+	}
+}
+
+func TestWriteAndSyncFailpointsPropagate(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer failpoint.DisableAll()
+	if err := failpoint.Enable("ckptstore/write", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("x")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("write failpoint: %v", err)
+	}
+	failpoint.DisableAll()
+	if err := failpoint.Enable("ckptstore/sync", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("x")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("sync failpoint: %v", err)
+	}
+	failpoint.DisableAll()
+	// After the chaos clears, the store works.
+	if _, err := s.Save([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := s.Load(); err != nil || string(snap.Payload) != "ok" {
+		t.Fatalf("post-chaos store broken: %v", err)
+	}
+}
+
+func TestLoadGenerationAndLoadFailpoint(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Save([]byte(fmt.Sprintf("gen%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := s.LoadGeneration(2)
+	if err != nil || string(p) != "gen2" {
+		t.Fatalf("LoadGeneration(2) = %q, %v", p, err)
+	}
+	if _, err := s.LoadGeneration(99); err == nil {
+		t.Fatal("missing generation loaded")
+	}
+	defer failpoint.DisableAll()
+	// An IO error reading the newest generation degrades to the previous
+	// one, same as corruption.
+	if err := failpoint.Enable("ckptstore/load", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 2 || len(snap.Skipped) != 1 {
+		t.Fatalf("load under IO chaos: gen %d, skipped %v", snap.Generation, snap.Skipped)
+	}
+}
+
+func TestOpenValidatesRetain(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{Retain: -1}); err == nil {
+		t.Fatal("negative Retain accepted")
+	}
+}
+
+func TestDecodeRejectsOversizeLength(t *testing.T) {
+	// A frame whose length field exceeds MaxPayload must be rejected
+	// before any allocation.
+	data := Encode([]byte("x"))
+	data[headerSize+0] = 0xff
+	data[headerSize+1] = 0xff
+	data[headerSize+2] = 0xff
+	data[headerSize+3] = 0xff
+	if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversize length: %v", err)
+	}
+}
+
+func TestDecodeMultiRecord(t *testing.T) {
+	// Decode concatenates multiple framed records (forward compat with
+	// streamed appends).
+	a, b := Encode([]byte("hello ")), Encode([]byte("world"))
+	joined := append(append([]byte{}, a...), b[headerSize:]...)
+	payload, err := Decode(joined)
+	if err != nil || string(payload) != "hello world" {
+		t.Fatalf("multi-record decode = %q, %v", payload, err)
+	}
+}

@@ -1,0 +1,40 @@
+package ckptstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode drives arbitrary bytes through Decode (it must
+// never panic and never allocate past the input size) and checks the
+// Encode/Decode roundtrip on the same bytes treated as a payload.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MHCK"))
+	f.Add(Encode(nil))
+	f.Add(Encode([]byte("payload")))
+	f.Add(Encode(bytes.Repeat([]byte{0xaa}, 300)))
+	trunc := Encode([]byte("truncate me"))
+	f.Add(trunc[:len(trunc)-4])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if payload, err := Decode(data); err == nil {
+			// Whatever decodes must re-encode to something that decodes
+			// to the same payload.
+			back, err := Decode(Encode(payload))
+			if err != nil {
+				t.Fatalf("re-encode of decoded payload fails: %v", err)
+			}
+			if !bytes.Equal(back, payload) {
+				t.Fatalf("roundtrip mismatch: %x vs %x", back, payload)
+			}
+		}
+		// Any input is also a valid payload; its frame must roundtrip.
+		back, err := Decode(Encode(data))
+		if err != nil {
+			t.Fatalf("Encode(%d bytes) does not decode: %v", len(data), err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("payload roundtrip mismatch")
+		}
+	})
+}

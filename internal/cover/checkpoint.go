@@ -3,12 +3,31 @@ package cover
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/bitmat"
 	"repro/internal/reduce"
 )
+
+// Typed checkpoint-rejection errors. Callers (cmd/multihit, the harness)
+// match these to turn a bad resume into a one-line diagnostic instead of
+// silently starting from scratch.
+var (
+	// ErrCheckpointVersion means the checkpoint's wire format is not the
+	// one this binary writes.
+	ErrCheckpointVersion = errors.New("cover: checkpoint version mismatch")
+	// ErrFingerprintMismatch means the checkpoint was taken from
+	// different input matrices.
+	ErrFingerprintMismatch = errors.New("cover: checkpoint fingerprint mismatch")
+)
+
+// maxCheckpointBytes bounds ReadCheckpoint's input: a checkpoint is a
+// few bytes per greedy step, so 64 MiB is orders of magnitude above any
+// legitimate run and cheap insurance against a corrupt or hostile file
+// streaming unbounded JSON.
+const maxCheckpointBytes = 64 << 20
 
 // A Checkpoint captures a discovery run's progress so it can resume in a
 // later job — the practical answer to batch-system walltime limits (the
@@ -70,14 +89,17 @@ func (cp *Checkpoint) Write(w io.Writer) error {
 	return enc.Encode(cp)
 }
 
-// ReadCheckpoint deserializes a checkpoint written by Write.
+// ReadCheckpoint deserializes a checkpoint written by Write. The read is
+// bounded by maxCheckpointBytes; a version mismatch wraps
+// ErrCheckpointVersion, and Combos/NewlyCovered must be the same length.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var cp Checkpoint
-	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+	if err := json.NewDecoder(io.LimitReader(r, maxCheckpointBytes)).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("cover: reading checkpoint: %w", err)
 	}
 	if cp.Version != checkpointVersion {
-		return nil, fmt.Errorf("cover: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+		return nil, fmt.Errorf("cover: checkpoint version %d, want %d: %w",
+			cp.Version, checkpointVersion, ErrCheckpointVersion)
 	}
 	if len(cp.Combos) != len(cp.NewlyCovered) {
 		return nil, fmt.Errorf("cover: checkpoint has %d combos but %d cover counts",
@@ -100,46 +122,9 @@ func Resume(tumor, normal *bitmat.Matrix, opt Options, cp *Checkpoint) (*Result,
 	if opt.BitSplice {
 		return nil, fmt.Errorf("cover: Resume supports mask-based exclusion; disable BitSplice")
 	}
-	if cp.Hits != opt.Hits {
-		return nil, fmt.Errorf("cover: checkpoint is a %d-hit run, options say %d", cp.Hits, opt.Hits)
-	}
-	if cp.Alpha != opt.Alpha {
-		return nil, fmt.Errorf("cover: checkpoint used α=%g, options say %g", cp.Alpha, opt.Alpha)
-	}
-	if cp.TumorFingerprint != tumor.Fingerprint() || cp.NormalFingerprint != normal.Fingerprint() {
-		return nil, fmt.Errorf("cover: checkpoint does not match these matrices")
-	}
-
-	res := &Result{Options: opt, Evaluated: cp.Evaluated, Pruned: cp.Pruned}
-	active := bitmat.AllOnes(tumor.Samples())
-	buf := make([]uint64, tumor.Words())
-	for i, ids := range cp.Combos {
-		if len(ids) != opt.Hits {
-			return nil, fmt.Errorf("cover: checkpoint combo %d has %d genes, want %d",
-				i, len(ids), opt.Hits)
-		}
-		for _, g := range ids {
-			if g < 0 || g >= tumor.Genes() {
-				return nil, fmt.Errorf("cover: checkpoint combo %d references gene %d of %d",
-					i, g, tumor.Genes())
-			}
-		}
-		tumor.ComboVec(buf, ids...)
-		cov := bitmat.NewVec(tumor.Samples())
-		copy(cov.Words(), buf)
-		cov.And(active)
-		newly := cov.PopCount()
-		if newly != cp.NewlyCovered[i] {
-			return nil, fmt.Errorf("cover: checkpoint combo %d covers %d samples on replay, recorded %d",
-				i, newly, cp.NewlyCovered[i])
-		}
-		active.AndNot(cov)
-		res.Covered += newly
-		res.Steps = append(res.Steps, Step{
-			Combo:        replayCombo(ids),
-			NewlyCovered: newly,
-			ActiveAfter:  active.PopCount(),
-		})
+	res, active, err := Replay(tumor, normal, opt, cp)
+	if err != nil {
+		return nil, err
 	}
 	// Continue the greedy loop from the replayed state.
 	if err := continueGreedy(tumor, normal, opt, active, res); err != nil {

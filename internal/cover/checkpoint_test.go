@@ -2,6 +2,8 @@ package cover
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -115,6 +117,45 @@ func TestReadCheckpointErrors(t *testing.T) {
 		`{"version": 1, "combos": [[1,2]], "newly_covered": []}`)); err == nil {
 		t.Error("accepted inconsistent lengths")
 	}
+}
+
+func TestCheckpointTypedErrors(t *testing.T) {
+	// The load-failure modes callers branch on (the CLI reports them, the
+	// harness surfaces them) are typed, not just message strings.
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version": 99}`)); !errors.Is(err, ErrCheckpointVersion) {
+		t.Errorf("unknown version error = %v, want ErrCheckpointVersion", err)
+	}
+	tumor, normal := randomPair(73, 12, 40, 30, 0.4)
+	partial, err := Run(tumor, normal, Options{Hits: 3, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := partial.ToCheckpoint(tumor, normal)
+	otherT, otherN := randomPair(74, 12, 40, 30, 0.4)
+	if _, err := Resume(otherT, otherN, Options{Hits: 3}, cp); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Errorf("mismatched matrices error = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+func TestReadCheckpointBoundsInput(t *testing.T) {
+	// A checkpoint stream larger than the decode bound must fail cleanly
+	// instead of buffering without limit. A valid header followed by an
+	// endless field exercises the io.LimitReader cut-off.
+	huge := strings.NewReader(`{"version": 1, "combos": [` + strings.Repeat("[1,2],", 1<<20))
+	r := io.MultiReader(huge, neverEnding('['))
+	if _, err := ReadCheckpoint(r); err == nil {
+		t.Error("accepted an unbounded checkpoint stream")
+	}
+}
+
+// neverEnding is an infinite reader of one repeated byte.
+type neverEnding byte
+
+func (b neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(b)
+	}
+	return len(p), nil
 }
 
 func TestResumeFromEmptyCheckpoint(t *testing.T) {

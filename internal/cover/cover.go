@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/combinat"
+	"repro/internal/failpoint"
 	"repro/internal/reduce"
 	"repro/internal/sched"
 )
@@ -424,6 +425,10 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 
 		var activeAfter int
 		if opt.BitSplice {
+			if err := failpoint.Check("cover/splice"); err != nil {
+				res.Elapsed = time.Since(start)
+				return res, err
+			}
 			remove := vecFromWords(cur.Samples(), coverBuf)
 			cur = cur.Splice(remove)
 			activeAfter = cur.Samples()
@@ -629,25 +634,12 @@ func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options
 // timing-dependent. Each worker also owns one kernelScratch for its whole
 // lifetime, so a pass allocates O(workers) buffers, not O(partitions).
 func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, Counts, error) {
-	g := uint64(tumor.Genes())
-	var curve sched.Curve
-	switch opt.Scheme {
-	case SchemePair:
-		curve = sched.NewFlat(combinat.PairCount(g))
-	case Scheme2x1:
-		curve = sched.NewTri2x1(g)
-	case Scheme2x2:
-		curve = sched.NewTri2x2(g)
-	case Scheme3x1:
-		curve = sched.NewTetra3x1(g)
-	case Scheme1x3:
-		curve = sched.NewLin1x3(g)
-	case Scheme4x1:
-		curve = sched.NewFlat(combinat.QuadCount(g))
-	default:
-		// Scheme arrives from CLI flags and config files; an unknown value
-		// is untrusted input, not a programmer error.
-		return reduce.None, Counts{}, fmt.Errorf("cover: unresolved scheme %v", opt.Scheme)
+	if err := failpoint.Check("cover/scan"); err != nil {
+		return reduce.None, Counts{}, err
+	}
+	curve, err := schemeCurve(uint64(tumor.Genes()), opt.Scheme)
+	if err != nil {
+		return reduce.None, Counts{}, err
 	}
 
 	workers := opt.Workers
@@ -658,7 +650,6 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 	// latency to a quarter of a worker's share.
 	chunks := workers * 4
 	var parts []sched.Partition
-	var err error
 	if opt.Scheduler == EquiDistance {
 		parts, err = sched.EquiDistance(curve, chunks)
 	} else {
@@ -775,6 +766,10 @@ func runKernel(ctx context.Context, env *kernelEnv, opt Options, part sched.Part
 	if ctx.Err() != nil {
 		return reduce.None, Counts{}
 	}
+	// Chaos hook into the real scan path: an armed "cover/kernel"
+	// failpoint panics or stalls inside the partition, exactly where an
+	// OOM kill or a wedged device would strike (docs/ROBUSTNESS.md).
+	failpoint.Hit("cover/kernel")
 	blockBests := s.blockBests[:0]
 	blockBest := reduce.None
 	inBlock := 0

@@ -1,0 +1,189 @@
+package cover
+
+// This file is the engine surface the supervised runner
+// (internal/harness) is built on: a deterministic partition plan for one
+// enumeration pass, a single-partition scan that can be retried in
+// isolation, and a checkpoint replay that rebuilds mid-run state without
+// re-enumerating. docs/ROBUSTNESS.md describes the layer end to end.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/combinat"
+	"repro/internal/reduce"
+	"repro/internal/sched"
+)
+
+// Normalized resolves the zero values of an Options (scheme from hits,
+// default alpha/workers/block size) and validates it — the same
+// resolution Run applies. The supervised runner normalizes once so the
+// options it records in checkpoints and results are the resolved ones.
+func (o Options) Normalized() (Options, error) {
+	return o.withDefaults()
+}
+
+// schemeCurve builds the λ-domain work curve of one enumeration pass.
+// Shared by findBest and PartitionPlan so the supervised runner scans
+// exactly the domain the in-process engine would.
+func schemeCurve(genes uint64, s Scheme) (sched.Curve, error) {
+	switch s {
+	case SchemePair:
+		return sched.NewFlat(combinat.PairCount(genes)), nil
+	case Scheme2x1:
+		return sched.NewTri2x1(genes), nil
+	case Scheme2x2:
+		return sched.NewTri2x2(genes), nil
+	case Scheme3x1:
+		return sched.NewTetra3x1(genes), nil
+	case Scheme1x3:
+		return sched.NewLin1x3(genes), nil
+	case Scheme4x1:
+		return sched.NewFlat(combinat.QuadCount(genes)), nil
+	}
+	// Scheme arrives from CLI flags and config files; an unknown value
+	// is untrusted input, not a programmer error.
+	return nil, fmt.Errorf("cover: unresolved scheme %v", s)
+}
+
+// PartitionPlan cuts one enumeration pass over a genes-wide matrix into
+// chunks λ-ranges using the configured scheduler. The plan depends only
+// on (genes, scheme, scheduler, chunks) — it is identical across
+// processes and across resumed legs, which is what lets a supervisor
+// retry or quarantine individual ranges and still reproduce an
+// uninterrupted run exactly.
+func PartitionPlan(genes int, opt Options, chunks int) ([]sched.Partition, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if genes < opt.Hits {
+		return nil, fmt.Errorf("cover: %d genes cannot form %d-hit combinations", genes, opt.Hits)
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("cover: partition plan needs at least 1 chunk, got %d", chunks)
+	}
+	curve, err := schemeCurve(uint64(genes), opt.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Scheduler == EquiDistance {
+		return sched.EquiDistance(curve, chunks)
+	}
+	return sched.EquiArea(curve, chunks)
+}
+
+// ScanPartition scores one λ-partition of one enumeration pass and
+// returns the partition's best combination and exact work counts. denom
+// pins the F denominator (pass the ORIGINAL cohort size so scores stay
+// comparable when a BitSplice working matrix has shrunk; pass
+// tumor.Samples()+normal.Samples() otherwise).
+//
+// shared, when non-nil, is a cross-partition incumbent the scan prunes
+// against and raises; it never changes which combination wins, only the
+// Evaluated/Pruned split. Pass nil for a partition-local incumbent —
+// then the scan is a pure function of (matrices, options, partition),
+// which makes its counts deterministic and makes the partition safely
+// retryable after a mid-scan crash.
+func ScanPartition(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, part sched.Partition, denom float64, shared *reduce.SharedBest) (reduce.Combo, Counts, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return reduce.None, Counts{}, err
+	}
+	if tumor.Genes() != normal.Genes() {
+		return reduce.None, Counts{}, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+			tumor.Genes(), normal.Genes())
+	}
+	if part.Hi < part.Lo {
+		return reduce.None, Counts{}, fmt.Errorf("cover: inverted range [%d, %d)", part.Lo, part.Hi)
+	}
+	if denom <= 0 {
+		return reduce.None, Counts{}, fmt.Errorf("cover: denominator must be positive, got %g", denom)
+	}
+	if active == nil {
+		active = bitmat.AllOnes(tumor.Samples())
+	}
+	if part.Size() == 0 {
+		return reduce.None, Counts{}, nil
+	}
+	env := &kernelEnv{
+		tumor:  tumor,
+		normal: normal,
+		active: active,
+		alpha:  opt.Alpha,
+		denom:  denom,
+		nn:     normal.Samples(),
+	}
+	if !opt.NoPrune && opt.Scheme.prunable() {
+		if shared != nil {
+			env.shared = shared
+		} else {
+			env.shared = reduce.NewSharedBest()
+		}
+	}
+	s := newKernelScratch(tumor.Words(), normal.Words())
+	best, n := runKernel(context.Background(), env, opt, part, s)
+	return best, n, nil
+}
+
+// Replay rebuilds an interrupted run's state from a checkpoint: every
+// recorded combination is re-applied to a fresh active mask (and
+// re-verified against its recorded cover count) in O(steps) matrix
+// operations, with no enumeration. It returns the partial Result and the
+// active mask the next greedy iteration should scan under. Resume is
+// Replay followed by the greedy loop; the supervised runner
+// (internal/harness) replays and then supervises its own loop.
+func Replay(tumor, normal *bitmat.Matrix, opt Options, cp *Checkpoint) (*Result, *bitmat.Vec, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cp.Hits != opt.Hits {
+		return nil, nil, fmt.Errorf("cover: checkpoint is a %d-hit run, options say %d", cp.Hits, opt.Hits)
+	}
+	if cp.Alpha != opt.Alpha {
+		return nil, nil, fmt.Errorf("cover: checkpoint used α=%g, options say %g", cp.Alpha, opt.Alpha)
+	}
+	if cp.TumorFingerprint != tumor.Fingerprint() || cp.NormalFingerprint != normal.Fingerprint() {
+		return nil, nil, fmt.Errorf("cover: checkpoint fingerprint (tumor %016x, normal %016x) does not match these matrices: %w",
+			cp.TumorFingerprint, cp.NormalFingerprint, ErrFingerprintMismatch)
+	}
+	if len(cp.Combos) != len(cp.NewlyCovered) {
+		return nil, nil, fmt.Errorf("cover: checkpoint has %d combos but %d cover counts",
+			len(cp.Combos), len(cp.NewlyCovered))
+	}
+
+	res := &Result{Options: opt, Evaluated: cp.Evaluated, Pruned: cp.Pruned}
+	active := bitmat.AllOnes(tumor.Samples())
+	buf := make([]uint64, tumor.Words())
+	for i, ids := range cp.Combos {
+		if len(ids) != opt.Hits {
+			return nil, nil, fmt.Errorf("cover: checkpoint combo %d has %d genes, want %d",
+				i, len(ids), opt.Hits)
+		}
+		for _, g := range ids {
+			if g < 0 || g >= tumor.Genes() {
+				return nil, nil, fmt.Errorf("cover: checkpoint combo %d references gene %d of %d",
+					i, g, tumor.Genes())
+			}
+		}
+		tumor.ComboVec(buf, ids...)
+		cov := bitmat.NewVec(tumor.Samples())
+		copy(cov.Words(), buf)
+		cov.And(active)
+		newly := cov.PopCount()
+		if newly != cp.NewlyCovered[i] {
+			return nil, nil, fmt.Errorf("cover: checkpoint combo %d covers %d samples on replay, recorded %d",
+				i, newly, cp.NewlyCovered[i])
+		}
+		active.AndNot(cov)
+		res.Covered += newly
+		res.Steps = append(res.Steps, Step{
+			Combo:        replayCombo(ids),
+			NewlyCovered: newly,
+			ActiveAfter:  active.PopCount(),
+		})
+	}
+	return res, active, nil
+}

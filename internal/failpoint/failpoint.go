@@ -1,0 +1,341 @@
+// Package failpoint is a lightweight fault-injection registry for chaos
+// testing the real (non-simulated) discovery pipeline. Production code
+// marks interesting points — checkpoint IO, the kernel scan, the
+// reductions, the splice — with a named Check or Hit call; tests (or the
+// MULTIHIT_FAILPOINTS environment variable, or multihit -chaos) arm those
+// names with an action, and the next pass through the point injects an
+// actual panic, IO-style error, or delay into the real code path.
+//
+// Unlike the simulated fault layer (internal/cluster, docs/FAULTS.md),
+// which prices failures in virtual time, a failpoint makes the real
+// process fail: a panic unwinds the real goroutine, an error propagates
+// through the real error path, a delay holds the real lock. The
+// supervised runner (internal/harness) is tested against this package.
+//
+// # Spec grammar
+//
+//	ACTION[@WINDOW][%PROB[:SEED]]
+//
+//	ACTION  = "panic" | "error" | "delay(DURATION)" | "off"
+//	WINDOW  = N | N-M     fire only on the N-th (through M-th) hit, 1-based
+//	PROB    = float in (0,1]   seeded per-hit firing probability
+//	SEED    = uint64           probability stream seed (default 1)
+//
+// Examples: "panic@3" panics on exactly the third pass; "error@1-4"
+// injects an error on the first four passes (so a bounded retry still
+// fails); "delay(50ms)%0.25:7" sleeps with seeded probability 1/4.
+// Firing is fully deterministic: it depends only on the spec and the
+// point's hit counter, never on wall-clock time or global randomness.
+//
+// When no failpoint is armed, Check and Hit cost one atomic load.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the environment variable FromEnv reads:
+// semicolon-separated "name=spec" entries.
+const EnvVar = "MULTIHIT_FAILPOINTS"
+
+// action is what an armed failpoint does when it fires.
+type action uint8
+
+const (
+	actError action = iota
+	actPanic
+	actDelay
+)
+
+// point is one armed failpoint.
+type point struct {
+	name  string
+	act   action
+	delay time.Duration
+	// loHit/hiHit bound the 1-based hits that may fire; 0,0 means every
+	// hit.
+	loHit, hiHit uint64
+	// prob is the per-hit firing probability; 0 means always fire.
+	prob float64
+	seed uint64
+	hits atomic.Uint64
+}
+
+var (
+	// armed counts the enabled failpoints; the fast path in Check/Hit is
+	// a single load of this counter.
+	armed atomic.Int64
+
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Error is the error an "error"-action failpoint injects. It unwraps to
+// ErrInjected so callers can detect chaos-injected failures.
+type Error struct {
+	// Name is the failpoint that fired.
+	Name string
+	// Hit is the 1-based pass count at which it fired.
+	Hit uint64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("failpoint %s: injected error (hit %d)", e.Name, e.Hit)
+}
+
+// Unwrap lets errors.Is(err, ErrInjected) identify injected errors.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// ErrInjected is the sentinel all injected errors unwrap to.
+var ErrInjected = errors.New("failpoint: injected error")
+
+// Panic is the value a "panic"-action failpoint panics with, so chaos
+// tests can tell an injected panic from a genuine bug.
+type Panic struct {
+	// Name is the failpoint that fired.
+	Name string
+	// Hit is the 1-based pass count at which it fired.
+	Hit uint64
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("failpoint %s: injected panic (hit %d)", p.Name, p.Hit)
+}
+
+// IsPanic reports whether a recovered panic value was injected by this
+// package.
+func IsPanic(recovered any) bool {
+	_, ok := recovered.(*Panic)
+	return ok
+}
+
+// Enable arms (or re-arms, resetting the hit counter of) the named
+// failpoint with a spec. The spec "off" disarms it.
+func Enable(name, spec string) error {
+	if name == "" {
+		return fmt.Errorf("failpoint: empty name")
+	}
+	if strings.TrimSpace(spec) == "off" {
+		Disable(name)
+		return nil
+	}
+	p, err := parseSpec(name, spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = p
+	return nil
+}
+
+// Disable disarms the named failpoint; unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; exists {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// DisableAll disarms every failpoint (test teardown).
+func DisableAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(points)))
+	points = map[string]*point{}
+}
+
+// Enabled reports whether the named failpoint is armed.
+func Enabled(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := points[name]
+	return ok
+}
+
+// Hits returns how many times execution has passed through the named
+// armed failpoint (0 when not armed).
+func Hits(name string) uint64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// EnableSpecs arms a semicolon- or comma-separated "name=spec" list (the
+// -chaos flag format) and returns how many failpoints it armed.
+func EnableSpecs(list string) (int, error) {
+	n := 0
+	for _, entry := range strings.FieldsFunc(list, func(r rune) bool { return r == ';' || r == ',' }) {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return n, fmt.Errorf("failpoint: entry %q is not name=spec", entry)
+		}
+		if err := Enable(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// FromEnv arms the failpoints listed in MULTIHIT_FAILPOINTS and returns
+// how many it armed. An unset or empty variable arms nothing.
+func FromEnv() (int, error) {
+	return EnableSpecs(os.Getenv(EnvVar))
+}
+
+// Check passes through the named failpoint. When the point is armed and
+// fires, the action happens here: a panic action panics with *Panic, an
+// error action returns *Error, a delay action sleeps and returns nil.
+// Unarmed points (the production case) cost one atomic load.
+func Check(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	hit := p.hits.Add(1)
+	if !p.fires(hit) {
+		return nil
+	}
+	switch p.act {
+	case actPanic:
+		panic(&Panic{Name: name, Hit: hit})
+	case actDelay:
+		time.Sleep(p.delay)
+		return nil
+	default:
+		return &Error{Name: name, Hit: hit}
+	}
+}
+
+// Hit is Check for code paths with no error return (the reductions, the
+// kernel dispatch): panic and delay actions take effect, an error action
+// is swallowed. Prefer Check wherever an error can propagate.
+func Hit(name string) {
+	if armed.Load() == 0 {
+		return
+	}
+	_ = Check(name)
+}
+
+// fires decides deterministically whether the hit-th pass fires.
+func (p *point) fires(hit uint64) bool {
+	if p.loHit > 0 && (hit < p.loHit || hit > p.hiHit) {
+		return false
+	}
+	if p.prob > 0 {
+		u := splitmix64(p.seed ^ hit)
+		if float64(u>>11)/float64(1<<53) >= p.prob {
+			return false
+		}
+	}
+	return true
+}
+
+// splitmix64 is the standard 64-bit mix, giving each (seed, hit) pair an
+// independent deterministic draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// parseSpec parses ACTION[@WINDOW][%PROB[:SEED]].
+func parseSpec(name, spec string) (*point, error) {
+	p := &point{name: name, seed: 1}
+	s := strings.TrimSpace(spec)
+
+	if rest, ok := cutSuffixMarker(s, "%"); ok {
+		prob := rest.suffix
+		if seedStr, seedOK := cutAfter(prob, ":"); seedOK {
+			prob = seedStr.prefix
+			seed, err := strconv.ParseUint(seedStr.suffix, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("failpoint %s: bad seed in %q: %v", name, spec, err)
+			}
+			p.seed = seed
+		}
+		f, err := strconv.ParseFloat(prob, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return nil, fmt.Errorf("failpoint %s: probability in %q must be in (0,1]", name, spec)
+		}
+		p.prob = f
+		s = rest.prefix
+	}
+
+	if rest, ok := cutSuffixMarker(s, "@"); ok {
+		window := rest.suffix
+		lo, hi := window, window
+		if loStr, hiOK := cutAfter(window, "-"); hiOK {
+			lo, hi = loStr.prefix, loStr.suffix
+		}
+		loN, err1 := strconv.ParseUint(lo, 10, 64)
+		hiN, err2 := strconv.ParseUint(hi, 10, 64)
+		if err1 != nil || err2 != nil || loN == 0 || hiN < loN {
+			return nil, fmt.Errorf("failpoint %s: bad hit window in %q", name, spec)
+		}
+		p.loHit, p.hiHit = loN, hiN
+		s = rest.prefix
+	}
+
+	switch {
+	case s == "panic":
+		p.act = actPanic
+	case s == "error":
+		p.act = actError
+	case strings.HasPrefix(s, "delay(") && strings.HasSuffix(s, ")"):
+		d, err := time.ParseDuration(s[len("delay(") : len(s)-1])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("failpoint %s: bad delay in %q", name, spec)
+		}
+		p.act = actDelay
+		p.delay = d
+	default:
+		return nil, fmt.Errorf("failpoint %s: unknown action %q (want panic, error, delay(D), or off)", name, s)
+	}
+	return p, nil
+}
+
+// split is a prefix/suffix pair around a marker.
+type split struct{ prefix, suffix string }
+
+// cutSuffixMarker cuts at the LAST occurrence of the marker.
+func cutSuffixMarker(s, marker string) (split, bool) {
+	i := strings.LastIndex(s, marker)
+	if i < 0 {
+		return split{}, false
+	}
+	return split{s[:i], s[i+len(marker):]}, true
+}
+
+// cutAfter cuts at the FIRST occurrence of the marker.
+func cutAfter(s, marker string) (split, bool) {
+	before, after, ok := strings.Cut(s, marker)
+	return split{before, after}, ok
+}

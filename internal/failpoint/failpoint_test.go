@@ -1,0 +1,203 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	DisableAll()
+	if err := Check("nothing/armed"); err != nil {
+		t.Fatalf("unarmed Check returned %v", err)
+	}
+	Hit("nothing/armed") // must not panic
+	if Hits("nothing/armed") != 0 {
+		t.Fatal("unarmed point counted hits")
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	if err := Enable("t/err", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Check("t/err")
+	if err == nil {
+		t.Fatal("armed error failpoint returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not unwrap to ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Name != "t/err" || fe.Hit != 1 {
+		t.Fatalf("injected error carries %+v", fe)
+	}
+	// Hit swallows error actions.
+	Hit("t/err")
+	if got := Hits("t/err"); got != 2 {
+		t.Fatalf("hit counter = %d, want 2", got)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	if err := Enable("t/panic", "panic@2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("t/panic"); err != nil {
+		t.Fatalf("hit 1 outside window fired: %v", err)
+	}
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		Check("t/panic")
+		return nil
+	}()
+	if !IsPanic(recovered) {
+		t.Fatalf("hit 2 recovered %v, want *Panic", recovered)
+	}
+	if err := Check("t/panic"); err != nil {
+		t.Fatalf("hit 3 outside window fired: %v", err)
+	}
+}
+
+func TestHitWindowRange(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	if err := Enable("t/win", "error@2-4"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if Check("t/win") != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	if err := Enable("t/delay", "delay(30ms)@1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Check("t/delay"); err != nil {
+		t.Fatalf("delay action returned %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay slept only %v", d)
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	run := func() []int {
+		if err := Enable("t/prob", "error%0.5:42"); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 1; i <= 64; i++ {
+			if Check("t/prob") != nil {
+				fired = append(fired, i)
+			}
+		}
+		Disable("t/prob")
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("two identical seeded runs fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded firing diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("p=0.5 over 64 hits fired %d times; the draw is not mixing", len(a))
+	}
+}
+
+func TestEnableSpecsAndEnv(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	n, err := EnableSpecs("a/b=panic@1; c/d=error ,e/f=delay(1ms)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || !Enabled("a/b") || !Enabled("c/d") || !Enabled("e/f") {
+		t.Fatalf("EnableSpecs armed %d points", n)
+	}
+	DisableAll()
+
+	t.Setenv(EnvVar, "x/y=error@1")
+	n, err = FromEnv()
+	if err != nil || n != 1 || !Enabled("x/y") {
+		t.Fatalf("FromEnv armed %d, err %v", n, err)
+	}
+	DisableAll()
+
+	t.Setenv(EnvVar, "")
+	if n, err := FromEnv(); err != nil || n != 0 {
+		t.Fatalf("empty env armed %d, err %v", n, err)
+	}
+}
+
+func TestOffAndReEnableResetsCounter(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	if err := Enable("t/reset", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	if Check("t/reset") == nil {
+		t.Fatal("hit 1 did not fire")
+	}
+	if Check("t/reset") != nil {
+		t.Fatal("hit 2 fired")
+	}
+	// Re-arming resets the counter: hit 1 fires again.
+	if err := Enable("t/reset", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	if Check("t/reset") == nil {
+		t.Fatal("re-armed hit 1 did not fire")
+	}
+	if err := Enable("t/reset", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled("t/reset") {
+		t.Fatal("off spec left the point armed")
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	for _, spec := range []string{
+		"", "explode", "panic@0", "panic@5-2", "panic@x",
+		"error%0", "error%1.5", "error%0.5:notanumber", "delay(xx)", "delay(-1s)",
+	} {
+		if err := Enable("t/bad", spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if Enabled("t/bad") {
+		t.Fatal("failed Enable left the point armed")
+	}
+	if _, err := EnableSpecs("nameonly"); err == nil {
+		t.Error("entry without '=' accepted")
+	}
+}

@@ -1,0 +1,267 @@
+// Package harness is the durable, supervised execution layer for the
+// real (non-simulated) discovery pipeline. Where internal/cluster prices
+// faults in virtual time, this package survives them in real time: it
+// runs the greedy cover loop partition-by-partition so that a panic, an
+// injected IO error, or a walltime limit costs at most one λ-partition
+// of work, and it persists every completed greedy step to a crash-safe
+// on-disk store (internal/ckptstore) so a killed process resumes
+// losslessly.
+//
+// Guarantees (docs/ROBUSTNESS.md has the full contract):
+//
+//   - Determinism: with the default partition-local pruning, a resumed
+//     run reproduces an uninterrupted run exactly — same combination
+//     list, same cover counts, same Evaluated/Pruned totals — for any
+//     crash point at or between greedy steps, any worker count, and
+//     BitSplice on or off.
+//   - Supervision: each partition scan runs under recover; failures are
+//     retried with exponential backoff and deterministic jitter, and a
+//     partition that keeps failing is quarantined after MaxRetries
+//     retries. A quarantined range is reported in the result (with the
+//     combination count it withheld), never silently dropped.
+//   - Anytime results: a wall-clock deadline or a canceled context (see
+//     SignalContext for SIGINT/SIGTERM) checkpoints completed steps and
+//     returns the best-so-far cover with Partial set, treating
+//     best-so-far output as first-class rather than as failure.
+package harness
+
+import (
+	"time"
+
+	"repro/internal/ckptstore"
+	"repro/internal/cover"
+	"repro/internal/reduce"
+	"repro/internal/sched"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultMaxRetries is how many times a failing partition is retried
+	// before quarantine.
+	DefaultMaxRetries = 2
+	// DefaultBackoffBase is the first retry delay; attempt n waits
+	// base·2ⁿ⁻¹, jittered.
+	DefaultBackoffBase = 2 * time.Millisecond
+	// DefaultBackoffMax caps the retry delay.
+	DefaultBackoffMax = 250 * time.Millisecond
+	// DefaultPartitionsPerWorker oversubscribes the partition plan so
+	// retry, quarantine, and cancellation granularity is a fraction of a
+	// worker's share.
+	DefaultPartitionsPerWorker = 4
+)
+
+// Options configures a supervised run.
+type Options struct {
+	// Cover configures the underlying engine (hits, scheme, scheduler,
+	// workers, alpha, BitSplice, NoPrune, MaxIterations). The engine's
+	// own Progress/CheckpointEvery/OnCheckpoint callbacks are ignored:
+	// the harness drives its own loop and its own persistence.
+	Cover cover.Options
+
+	// Store, when non-nil, receives a checkpoint after every
+	// CheckpointEvery-th completed greedy step and at every stop. A
+	// persistence failure aborts the run (durability is the point);
+	// the in-memory result is still returned alongside the error.
+	Store *ckptstore.Store
+	// Resume loads the newest valid generation from Store before
+	// running. With no loadable checkpoint the run FAILS rather than
+	// silently starting from scratch; omit Resume for a fresh run.
+	Resume bool
+	// CheckpointEvery is the persistence cadence in completed steps;
+	// 0 means 1 (every step).
+	CheckpointEvery int
+
+	// MaxRetries is how many retries a failing partition gets before
+	// quarantine; negative disables retries (first failure quarantines).
+	// 0 means DefaultMaxRetries.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the retry delay; zero values take
+	// the defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RetrySeed seeds the deterministic backoff jitter.
+	RetrySeed int64
+
+	// Deadline, when positive, bounds the run's wall clock: when it
+	// expires the harness abandons the in-flight step, persists the
+	// completed steps, and returns best-so-far with Partial set.
+	Deadline time.Duration
+
+	// SharedPrune shares one pruning incumbent across a step's
+	// partitions, matching cover.Run's pruning strength. It never
+	// changes which combinations are found, but it makes the
+	// Evaluated/Pruned SPLIT timing-dependent; leave it off when exact
+	// count reproducibility across resumes matters more than scan speed.
+	SharedPrune bool
+
+	// OnEvent, when non-nil, observes retries, quarantines, checkpoints,
+	// and resume provenance. Calls are serialized but may come from
+	// worker goroutines; keep it fast.
+	OnEvent func(Event)
+}
+
+// EventKind classifies an Event.
+type EventKind int
+
+const (
+	// EventRetry is one failed partition attempt about to be retried.
+	EventRetry EventKind = iota
+	// EventQuarantine is a partition abandoned after exhausting retries.
+	EventQuarantine
+	// EventCheckpoint is a persisted generation.
+	EventCheckpoint
+	// EventResume is a successful checkpoint load.
+	EventResume
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventRetry:
+		return "retry"
+	case EventQuarantine:
+		return "quarantine"
+	case EventCheckpoint:
+		return "checkpoint"
+	case EventResume:
+		return "resume"
+	}
+	return "unknown"
+}
+
+// Event is one observable supervisor action.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Step is the 0-based greedy step the event belongs to (-1 for
+	// resume events).
+	Step int
+	// Partition is the λ-range involved (retry/quarantine events).
+	Partition sched.Partition
+	// Attempt is the 1-based attempt that failed (retry/quarantine).
+	Attempt int
+	// Err is the failure (retry/quarantine events).
+	Err error
+	// Generation is the store generation (checkpoint/resume events).
+	Generation uint64
+}
+
+// Quarantine records a λ-range the supervisor gave up on. Its
+// combinations were never scanned, so the greedy step that owned it
+// chose from the surviving ranges only.
+type Quarantine struct {
+	// Step is the 0-based greedy step during which the range was
+	// quarantined.
+	Step int
+	// Lo and Hi bound the unscanned λ-range.
+	Lo, Hi uint64
+	// Attempts is how many times the scan was tried.
+	Attempts int
+	// LastError describes the final failure.
+	LastError string
+}
+
+// Size returns the number of λ-threads the quarantined range withheld.
+func (q Quarantine) Size() uint64 { return q.Hi - q.Lo }
+
+// Stop says why a run ended.
+type Stop int
+
+const (
+	// StopCompleted means the greedy loop ran to its natural end (full
+	// cover, uncoverable remainder, or MaxIterations).
+	StopCompleted Stop = iota
+	// StopDeadline means Options.Deadline expired.
+	StopDeadline
+	// StopCanceled means the caller's context was canceled (SIGINT or
+	// SIGTERM under SignalContext).
+	StopCanceled
+)
+
+// String names the stop reason.
+func (s Stop) String() string {
+	switch s {
+	case StopCompleted:
+		return "completed"
+	case StopDeadline:
+		return "deadline"
+	case StopCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// Result is a supervised run's outcome. Partial results are first-class:
+// a deadline, a signal, or a quarantined partition yields the best cover
+// found so far plus an exact account of what was not done.
+type Result struct {
+	// Steps lists the chosen combinations in greedy order (replayed
+	// steps first on a resumed run).
+	Steps []cover.Step
+	// Covered and Uncoverable partition the tumor samples; when Partial
+	// is set Uncoverable is a bound, not a verdict — unscanned or
+	// unfinished work might still cover the remainder.
+	Covered     int
+	Uncoverable int
+	// Evaluated and Pruned total the scan work, including work carried
+	// in from the resumed checkpoint.
+	Evaluated uint64
+	Pruned    uint64
+	// Elapsed is this leg's wall-clock time (replay included, prior legs
+	// excluded).
+	Elapsed time.Duration
+	// Options echoes the resolved engine configuration.
+	Options cover.Options
+
+	// Stop says why the run ended; Partial is true when the result is
+	// not a complete, fully-scanned cover (early stop or quarantine).
+	Stop    Stop
+	Partial bool
+
+	// Quarantined lists every λ-range that was abandoned; Unscanned is
+	// the total number of combinations those ranges withheld — the
+	// coverage bound: at most Unscanned candidate combinations were
+	// never considered.
+	Quarantined []Quarantine
+	Unscanned   uint64
+
+	// Resumed provenance: whether a checkpoint was loaded, from which
+	// generation, how many steps it replayed, and how many corrupt
+	// newer generations were skipped to find it.
+	Resumed            bool
+	ResumedGeneration  uint64
+	ReplayedSteps      int
+	SkippedGenerations int
+	// PersistedGeneration is the last generation this run wrote (0 when
+	// nothing was persisted).
+	PersistedGeneration uint64
+}
+
+// Combos returns the chosen combinations in order.
+func (r *Result) Combos() []reduce.Combo {
+	out := make([]reduce.Combo, len(r.Steps))
+	for i, s := range r.Steps {
+		out[i] = s.Combo
+	}
+	return out
+}
+
+// withDefaults resolves zero values.
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	return o
+}

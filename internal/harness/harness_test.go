@@ -1,0 +1,540 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/ckptstore"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/failpoint"
+)
+
+// cohort generates a small seeded study cohort.
+func cohort(t *testing.T, code string, genes, hits int, seed int64) (*bitmat.Matrix, *bitmat.Matrix) {
+	t.Helper()
+	spec, err := dataset.ByCode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Hits = hits
+	// The registry's positional-mutation profiles assume the study's
+	// native hit count; the cover tests here don't use them.
+	spec.Profiled = nil
+	spec = spec.Scaled(genes)
+	c, err := dataset.Generate(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Tumor, c.Normal
+}
+
+// sameSteps asserts two runs chose the same combinations with the same
+// cover counts.
+func sameSteps(t *testing.T, label string, got, want []cover.Step) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d steps, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i].Combo.GeneIDs(), want[i].Combo.GeneIDs()
+		if len(g) != len(w) {
+			t.Fatalf("%s: step %d arity differs", label, i)
+		}
+		for j := range w {
+			if g[j] != w[j] {
+				t.Fatalf("%s: step %d combo %v, want %v", label, i, g, w)
+			}
+		}
+		if got[i].NewlyCovered != want[i].NewlyCovered {
+			t.Fatalf("%s: step %d covers %d, want %d", label, i, got[i].NewlyCovered, want[i].NewlyCovered)
+		}
+	}
+}
+
+func TestHarnessMatchesCoverRun(t *testing.T) {
+	// Without faults the supervised loop must reproduce the plain
+	// engine's cover exactly, for every scheme family and both modes.
+	for _, hits := range []int{2, 3} {
+		for _, splice := range []bool{false, true} {
+			t.Run(fmt.Sprintf("h%d_splice%v", hits, splice), func(t *testing.T) {
+				tumor, normal := cohort(t, "BRCA", 40, hits, 7)
+				ref, err := cover.Run(tumor, normal, cover.Options{Hits: hits, Workers: 3, BitSplice: splice})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(context.Background(), tumor, normal, Options{
+					Cover: cover.Options{Hits: hits, Workers: 3, BitSplice: splice},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSteps(t, "harness vs engine", res.Steps, ref.Steps)
+				if res.Covered != ref.Covered || res.Uncoverable != ref.Uncoverable {
+					t.Fatalf("totals differ: %d/%d vs %d/%d",
+						res.Covered, res.Uncoverable, ref.Covered, ref.Uncoverable)
+				}
+				if res.Partial || res.Stop != StopCompleted || len(res.Quarantined) != 0 {
+					t.Fatalf("clean run reported partial: %+v", res)
+				}
+				// The scan accounts for the whole domain each pass. Under
+				// BitSplice the engine's gene-compaction tie-break rescan
+				// can double-count a pass, so totals only align in mask
+				// mode; the crash-resume tests pin harness-vs-harness
+				// totals in both modes.
+				if !splice && res.Evaluated+res.Pruned != ref.Evaluated+ref.Pruned {
+					t.Fatalf("scanned %d, engine scanned %d",
+						res.Evaluated+res.Pruned, ref.Evaluated+ref.Pruned)
+				}
+			})
+		}
+	}
+}
+
+// crashResume runs the harness to completion by killing it after every
+// committed step and resuming from disk, returning the final result.
+func crashResume(t *testing.T, tumor, normal *bitmat.Matrix, opt Options, kill string) *Result {
+	t.Helper()
+	defer failpoint.DisableAll()
+	dir := t.TempDir()
+	for leg := 0; ; leg++ {
+		if leg > 200 {
+			t.Fatal("crash-resume did not converge")
+		}
+		store, err := ckptstore.Open(dir, ckptstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legOpt := opt
+		legOpt.Store = store
+		legOpt.Resume = leg > 0
+		if err := failpoint.Enable("harness/crash", kill); err != nil {
+			t.Fatal(err)
+		}
+		res, err := func() (res *Result, err error) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if !failpoint.IsPanic(rec) {
+						panic(rec) // a genuine bug, not the injected kill
+					}
+					err = fmt.Errorf("killed: %v", rec)
+				}
+			}()
+			return Run(context.Background(), tumor, normal, legOpt)
+		}()
+		failpoint.Disable("harness/crash")
+		if err != nil {
+			continue // killed; next leg resumes from disk
+		}
+		if leg == 0 {
+			t.Fatal("first leg was never killed; the property test is vacuous")
+		}
+		return res
+	}
+}
+
+func TestCrashResumeEquivalence(t *testing.T) {
+	// The acceptance property: killing the run after EVERY greedy step
+	// (injected panic) and resuming from disk yields the identical
+	// combination list, cover counts, and Evaluated/Pruned totals as an
+	// uninterrupted run — across BitSplice on/off and ≥2 worker counts,
+	// on two seeded cohorts.
+	for _, tc := range []struct {
+		code  string
+		genes int
+		hits  int
+	}{
+		{"BRCA", 36, 3},
+		{"LGG", 40, 2},
+	} {
+		for _, splice := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				name := fmt.Sprintf("%s_splice%v_w%d", tc.code, splice, workers)
+				t.Run(name, func(t *testing.T) {
+					tumor, normal := cohort(t, tc.code, tc.genes, tc.hits, 11)
+					opt := Options{Cover: cover.Options{
+						Hits: tc.hits, Workers: workers, BitSplice: splice,
+					}}
+					ref, err := Run(context.Background(), tumor, normal, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := crashResume(t, tumor, normal, opt, "panic@1")
+					sameSteps(t, "crash-resume vs uninterrupted", got.Steps, ref.Steps)
+					if got.Covered != ref.Covered || got.Uncoverable != ref.Uncoverable {
+						t.Fatal("cover totals differ after crash-resume")
+					}
+					if got.Evaluated != ref.Evaluated || got.Pruned != ref.Pruned {
+						t.Fatalf("work totals differ: %d/%d vs %d/%d",
+							got.Evaluated, got.Pruned, ref.Evaluated, ref.Pruned)
+					}
+					if !got.Resumed || got.ReplayedSteps == 0 {
+						t.Fatalf("final leg did not resume: %+v", got)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestRetryRecoversFromTransientPanic(t *testing.T) {
+	// A panic inside the real kernel on the first two attempts is
+	// retried and the run still completes with a full, identical cover.
+	defer failpoint.DisableAll()
+	tumor, normal := cohort(t, "BRCA", 36, 2, 3)
+	ref, err := cover.Run(tumor, normal, cover.Options{Hits: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("cover/kernel", "panic@1-2"); err != nil {
+		t.Fatal(err)
+	}
+	var retries, quarantines int
+	res, err := Run(context.Background(), tumor, normal, Options{
+		Cover:      cover.Options{Hits: 2, Workers: 2},
+		MaxRetries: 3,
+		OnEvent: func(e Event) {
+			switch e.Kind {
+			case EventRetry:
+				retries++
+			case EventQuarantine:
+				quarantines++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries == 0 {
+		t.Fatal("injected panics produced no retries")
+	}
+	if quarantines != 0 {
+		t.Fatalf("transient failure was quarantined %d times", quarantines)
+	}
+	sameSteps(t, "after transient panics", res.Steps, ref.Steps)
+	if res.Partial {
+		t.Fatal("recovered run reported partial")
+	}
+}
+
+func TestPoisonPartitionQuarantine(t *testing.T) {
+	// A partition that fails every attempt is quarantined; the run
+	// degrades gracefully: it completes, reports the λ-range and the
+	// withheld combination count, and flags the result Partial.
+	defer failpoint.DisableAll()
+	tumor, normal := cohort(t, "BRCA", 36, 2, 3)
+	// Worker count 1 makes hit ordering deterministic: hits 1..N are the
+	// first partition's attempts.
+	if err := failpoint.Enable("harness/partition", "error@1-3"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), tumor, normal, Options{
+		Cover:       cover.Options{Hits: 2, Workers: 1},
+		MaxRetries:  2,
+		BackoffBase: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("quarantined %d partitions, want 1", len(res.Quarantined))
+	}
+	q := res.Quarantined[0]
+	if q.Attempts != 3 || q.Step != 0 {
+		t.Fatalf("quarantine = %+v, want 3 attempts at step 0", q)
+	}
+	if q.LastError == "" {
+		t.Fatal("quarantine carries no error")
+	}
+	if res.Unscanned != q.Size() || res.Unscanned == 0 {
+		t.Fatalf("Unscanned = %d, want partition size %d", res.Unscanned, q.Size())
+	}
+	if !res.Partial {
+		t.Fatal("quarantined run not flagged Partial")
+	}
+	if len(res.Steps) == 0 || res.Covered == 0 {
+		t.Fatal("degraded run found no cover at all")
+	}
+}
+
+func TestDeadlineReturnsPartialWithCheckpoint(t *testing.T) {
+	// A tight deadline plus an injected kernel stall forces an early
+	// stop: the result is Partial with best-so-far steps, a checkpoint
+	// is on disk, and a resume without the stall completes to the exact
+	// uninterrupted result.
+	defer failpoint.DisableAll()
+	tumor, normal := cohort(t, "LGG", 40, 2, 5)
+	ref, err := Run(context.Background(), tumor, normal, Options{
+		Cover: cover.Options{Hits: 2, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Steps) < 2 {
+		t.Skipf("cohort covers in %d steps; need ≥2", len(ref.Steps))
+	}
+	dir := t.TempDir()
+	store, err := ckptstore.Open(dir, ckptstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("cover/kernel", "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), tumor, normal, Options{
+		Cover:    cover.Options{Hits: 2, Workers: 2},
+		Store:    store,
+		Deadline: 120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != StopDeadline || !res.Partial {
+		t.Fatalf("stop = %v partial = %v, want deadline partial", res.Stop, res.Partial)
+	}
+	if len(res.Steps) >= len(ref.Steps) {
+		t.Skip("deadline did not bite; machine too fast for the stall")
+	}
+	failpoint.DisableAll()
+	if len(res.Steps) == 0 {
+		// Nothing persisted: nothing to resume. (The deadline fired
+		// before the first step; still a valid partial result.)
+		return
+	}
+	if res.PersistedGeneration == 0 {
+		t.Fatal("partial result was not persisted")
+	}
+	resumed, err := Run(context.Background(), tumor, normal, Options{
+		Cover:  cover.Options{Hits: 2, Workers: 2},
+		Store:  store,
+		Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSteps(t, "deadline resume", resumed.Steps, ref.Steps)
+	if resumed.Evaluated != ref.Evaluated || resumed.Pruned != ref.Pruned {
+		t.Fatal("deadline resume work totals differ")
+	}
+}
+
+func TestCancelCheckpointsAndResumes(t *testing.T) {
+	// Context cancellation (the SIGINT/SIGTERM path) behaves like the
+	// deadline: persist and return best-so-far, resume completes.
+	defer failpoint.DisableAll()
+	tumor, normal := cohort(t, "BRCA", 36, 2, 9)
+	ref, err := Run(context.Background(), tumor, normal, Options{
+		Cover: cover.Options{Hits: 2, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Steps) < 2 {
+		t.Skipf("cohort covers in %d steps; need ≥2", len(ref.Steps))
+	}
+	store, err := ckptstore.Open(t.TempDir(), ckptstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var once bool
+	res, err := Run(ctx, tumor, normal, Options{
+		Cover: cover.Options{Hits: 2, Workers: 2},
+		Store: store,
+		OnEvent: func(e Event) {
+			if e.Kind == EventCheckpoint && !once {
+				once = true
+				cancel() // "SIGTERM" right after the first step commits
+			}
+		},
+	})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != StopCanceled || !res.Partial {
+		t.Fatalf("stop = %v partial = %v, want canceled partial", res.Stop, res.Partial)
+	}
+	resumed, err := Run(context.Background(), tumor, normal, Options{
+		Cover:  cover.Options{Hits: 2, Workers: 2},
+		Store:  store,
+		Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSteps(t, "cancel resume", resumed.Steps, ref.Steps)
+}
+
+func TestResumeFallsBackPastCorruptGeneration(t *testing.T) {
+	// End to end: corrupt the newest on-disk generation and resume. The
+	// store falls back to the previous valid generation without manual
+	// intervention, the harness reports the skip, and the final cover is
+	// still exact.
+	tumor, normal := cohort(t, "BRCA", 36, 2, 13)
+	ref, err := Run(context.Background(), tumor, normal, Options{
+		Cover: cover.Options{Hits: 2, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Steps) < 3 {
+		t.Skipf("cohort covers in %d steps; need ≥3", len(ref.Steps))
+	}
+	dir := t.TempDir()
+	store, err := ckptstore.Open(dir, ckptstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run two steps, persisting each as its own generation.
+	_, err = Run(context.Background(), tumor, normal, Options{
+		Cover: cover.Options{Hits: 2, Workers: 2, MaxIterations: 2},
+		Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := store.Generations()
+	if err != nil || len(gens) != 2 {
+		t.Fatalf("generations %v, err %v; want 2 generations", gens, err)
+	}
+	// Flip one payload byte in the newest generation.
+	corruptGenerationFile(t, store, gens[len(gens)-1])
+
+	resumed, err := Run(context.Background(), tumor, normal, Options{
+		Cover:  cover.Options{Hits: 2, Workers: 2},
+		Store:  store,
+		Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ResumedGeneration != gens[0] || resumed.SkippedGenerations != 1 {
+		t.Fatalf("resumed from gen %d skipping %d, want gen %d skipping 1",
+			resumed.ResumedGeneration, resumed.SkippedGenerations, gens[0])
+	}
+	if resumed.ReplayedSteps != 1 {
+		t.Fatalf("replayed %d steps, want 1 (the older generation)", resumed.ReplayedSteps)
+	}
+	sameSteps(t, "corrupt-fallback resume", resumed.Steps, ref.Steps)
+	if resumed.Evaluated != ref.Evaluated || resumed.Pruned != ref.Pruned {
+		t.Fatal("corrupt-fallback resume work totals differ")
+	}
+}
+
+func TestResumeRequiresACheckpoint(t *testing.T) {
+	// -resume semantics: an empty store is a hard error, never a silent
+	// fresh start.
+	tumor, normal := cohort(t, "BRCA", 36, 2, 3)
+	store, err := ckptstore.Open(t.TempDir(), ckptstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), tumor, normal, Options{
+		Cover:  cover.Options{Hits: 2},
+		Store:  store,
+		Resume: true,
+	})
+	if !IsNoCheckpoint(err) {
+		t.Fatalf("resume from empty store = %v, want ErrNoCheckpoint", err)
+	}
+	_, err = Run(context.Background(), tumor, normal, Options{
+		Cover:  cover.Options{Hits: 2},
+		Resume: true,
+	})
+	if err == nil {
+		t.Fatal("resume without a store accepted")
+	}
+}
+
+func TestResumeRejectsWrongCohort(t *testing.T) {
+	// A checkpoint from one cohort must not replay onto another: the
+	// typed fingerprint error surfaces through the harness.
+	tumor, normal := cohort(t, "BRCA", 36, 2, 3)
+	store, err := ckptstore.Open(t.TempDir(), ckptstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), tumor, normal, Options{
+		Cover: cover.Options{Hits: 2, MaxIterations: 1},
+		Store: store,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	otherT, otherN := cohort(t, "BRCA", 36, 2, 99)
+	_, err = Run(context.Background(), otherT, otherN, Options{
+		Cover:  cover.Options{Hits: 2},
+		Store:  store,
+		Resume: true,
+	})
+	if !errors.Is(err, cover.ErrFingerprintMismatch) {
+		t.Fatalf("wrong-cohort resume = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+func TestPersistenceFailureAbortsWithResult(t *testing.T) {
+	// Losing the ability to checkpoint is an error (durability is the
+	// contract), but the in-memory best-so-far still comes back.
+	defer failpoint.DisableAll()
+	tumor, normal := cohort(t, "BRCA", 36, 2, 3)
+	store, err := ckptstore.Open(t.TempDir(), ckptstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("ckptstore/write", "error"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), tumor, normal, Options{
+		Cover: cover.Options{Hits: 2},
+		Store: store,
+	})
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("persistence failure = %v", err)
+	}
+	if res == nil || len(res.Steps) == 0 {
+		t.Fatal("no best-so-far result returned alongside the error")
+	}
+}
+
+func TestSharedPruneSameCombosFasterSplit(t *testing.T) {
+	// SharedPrune changes only the Evaluated/Pruned split, never the
+	// combinations; the scanned total stays the domain size.
+	tumor, normal := cohort(t, "BRCA", 36, 3, 7)
+	base, err := Run(context.Background(), tumor, normal, Options{
+		Cover: cover.Options{Hits: 3, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Run(context.Background(), tumor, normal, Options{
+		Cover:       cover.Options{Hits: 3, Workers: 2},
+		SharedPrune: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSteps(t, "shared-prune", shared.Steps, base.Steps)
+	if shared.Evaluated+shared.Pruned != base.Evaluated+base.Pruned {
+		t.Fatal("scanned totals differ under SharedPrune")
+	}
+}
+
+// corruptGenerationFile flips a payload byte of one generation in place.
+func corruptGenerationFile(t *testing.T, s *ckptstore.Store, gen uint64) {
+	t.Helper()
+	path := filepath.Join(s.Dir(), fmt.Sprintf("ckpt-%09d.mhc", gen))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM — the
+// batch-system walltime kill. Pair it with Run for checkpoint-and-exit:
+// on the first signal the supervisor abandons the in-flight step,
+// persists every completed step, and returns best-so-far with
+// Stop == StopCanceled. A second signal hits the process's default
+// handler and kills it outright (the checkpoint store stays consistent:
+// the newest generation is whatever last committed).
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

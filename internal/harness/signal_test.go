@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"context"
+	"syscall"
+	"testing"
+
+	"repro/internal/ckptstore"
+	"repro/internal/cover"
+	"repro/internal/failpoint"
+)
+
+func TestSIGTERMCheckpointsAndExits(t *testing.T) {
+	// The batch-system walltime kill, end to end: a real SIGTERM delivered
+	// to the process mid-run makes the supervisor persist completed steps
+	// and return best-so-far; a later resume finishes the identical cover.
+	defer failpoint.DisableAll()
+	tumor, normal := cohort(t, "BRCA", 36, 2, 9)
+	ref, err := Run(context.Background(), tumor, normal, Options{
+		Cover: cover.Options{Hits: 2, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Steps) < 2 {
+		t.Skipf("cohort covers in %d steps; need ≥2", len(ref.Steps))
+	}
+	store, err := ckptstore.Open(t.TempDir(), ckptstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	// Slow the kernel so cancellation always lands before the remaining
+	// steps can finish on a fast machine.
+	if err := failpoint.Enable("cover/kernel", "delay(5ms)"); err != nil {
+		t.Fatal(err)
+	}
+	var signaled bool
+	res, err := Run(ctx, tumor, normal, Options{
+		Cover: cover.Options{Hits: 2, Workers: 2},
+		Store: store,
+		OnEvent: func(e Event) {
+			if e.Kind == EventCheckpoint && !signaled {
+				signaled = true
+				if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+					t.Errorf("sending SIGTERM: %v", err)
+				}
+			}
+		},
+	})
+	stop() // restore default handling before any t.Fatal below
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != StopCanceled || !res.Partial {
+		t.Fatalf("stop = %v partial = %v, want canceled partial", res.Stop, res.Partial)
+	}
+	if res.PersistedGeneration == 0 {
+		t.Fatal("no checkpoint persisted before exiting")
+	}
+	failpoint.DisableAll()
+	resumed, err := Run(context.Background(), tumor, normal, Options{
+		Cover:  cover.Options{Hits: 2, Workers: 2},
+		Store:  store,
+		Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSteps(t, "post-SIGTERM resume", resumed.Steps, ref.Steps)
+	if resumed.Evaluated != ref.Evaluated || resumed.Pruned != ref.Pruned {
+		t.Fatal("post-SIGTERM resume work totals differ")
+	}
+}

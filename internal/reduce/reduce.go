@@ -15,7 +15,11 @@
 // assert parallel == sequential.
 package reduce
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/failpoint"
+)
 
 // Combo is one candidate multi-hit combination and its weight: four int32
 // gene ids plus a float32 F, 20 bytes — the struct the paper sizes its
@@ -187,6 +191,10 @@ func TreeReduce(combos []Combo) Combo {
 // folded in place. Callers that own the slice — the cover workers' reusable
 // per-partition scratch — avoid one allocation per reduction.
 func TreeReduceInPlace(buf []Combo) Combo {
+	// Chaos hook into the real reduction path: an armed "reduce/tree"
+	// failpoint panics or stalls here, where a crashed reduction rank
+	// would (docs/ROBUSTNESS.md).
+	failpoint.Hit("reduce/tree")
 	if len(buf) == 0 {
 		return None
 	}
