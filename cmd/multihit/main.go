@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -75,7 +76,9 @@ func main() {
 			fatal(err)
 		}
 		cohort, err = dataset.Load(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -392,15 +395,13 @@ func writeCheckpoint(cohort *dataset.Cohort, res *core.Result, opt cover.Options
 		})
 	}
 	cp := full.ToCheckpoint(cohort.Tumor, cohort.Normal)
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
 		fatal(err)
 	}
-	err = cp.Write(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	// Publish through the store's atomic temp+fsync+rename dance so a crash
+	// mid-write cannot leave a torn checkpoint behind.
+	if err := ckptstore.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("checkpoint written to %s\n", path)

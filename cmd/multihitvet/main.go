@@ -1,16 +1,35 @@
 // Command multihitvet is the repository's domain-aware static-analysis
-// suite: a multichecker that enforces the engine's index, overflow, and
-// determinism invariants (see docs/INVARIANTS.md). It is wired into
-// `make lint` (and therefore `make all`), and exits non-zero on any
-// unsuppressed diagnostic so CI fails on a new violation.
+// suite: a multichecker that enforces the engine's index, overflow,
+// determinism, allocation, cancellation, and durability invariants (see
+// docs/INVARIANTS.md). It is wired into `make lint` (and therefore
+// `make all`) and the CI vet job.
 //
 // Usage:
 //
-//	go run ./cmd/multihitvet [-list] [patterns...]
+//	go run ./cmd/multihitvet [-list] [-json] [patterns...]
 //
 // With no patterns (or "./...") every package in the module is checked.
 // Other patterns select packages whose import path, path relative to the
-// module root, or path tail matches.
+// module root, or path tail matches; "dir/..." selects a subtree. Analyzers
+// that exchange facts across packages still see the whole module — pattern
+// filtering narrows which packages' diagnostics are reported, not which are
+// loaded, so a filtered run never misses an interprocedural finding inside
+// the selection.
+//
+// Exit code contract (relied on by CI):
+//
+//	0  the selected packages are clean
+//	1  at least one unsuppressed diagnostic was reported
+//	2  the module failed to load or type-check (or bad usage)
+//
+// With -json, findings are printed to stdout as a single JSON object:
+//
+//	{"diagnostics": [{"analyzer": ..., "file": ..., "line": ...,
+//	  "column": ..., "message": ...}, ...], "count": N}
+//
+// The object is printed (with an empty list) even when clean, so tooling can
+// distinguish "clean" from "crashed" without parsing stderr. Load errors go
+// to stderr in both modes.
 //
 // A finding is suppressed by a comment on the flagged line or the line
 // above:
@@ -19,12 +38,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/atomicguard"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/durawrite"
 	"repro/internal/analysis/floatcompare"
 	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/load"
@@ -35,6 +59,10 @@ import (
 
 // analyzers is the registered suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
+	allocfree.Analyzer,
+	atomicguard.Analyzer,
+	ctxflow.Analyzer,
+	durawrite.Analyzer,
 	floatcompare.Analyzer,
 	goroleak.Analyzer,
 	overflowcheck.Analyzer,
@@ -44,8 +72,9 @@ var analyzers = []*analysis.Analyzer{
 
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: multihitvet [-list] [patterns...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: multihitvet [-list] [-json] [patterns...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,8 +91,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "multihitvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "multihitvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "multihitvet: %d diagnostic(s)\n", len(diags))
@@ -71,7 +107,41 @@ func main() {
 	}
 }
 
-// check loads the selected packages and runs the suite over them.
+// jsonDiagnostic is the wire form of one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output object.
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Count       int              `json:"count"`
+}
+
+// writeJSON renders the diagnostics as the documented JSON object.
+func writeJSON(w *os.File, diags []analysis.Diagnostic) error {
+	report := jsonReport{Diagnostics: make([]jsonDiagnostic, 0, len(diags)), Count: len(diags)}
+	for _, d := range diags {
+		report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// check loads the whole module, runs the suite over it (interprocedural
+// analyzers need every package for their facts), and returns the diagnostics
+// belonging to packages selected by the patterns.
 func check(patterns []string) ([]analysis.Diagnostic, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -90,13 +160,34 @@ func check(patterns []string) ([]analysis.Diagnostic, error) {
 		return nil, err
 	}
 
-	selected := pkgs[:0]
+	res, err := analysis.Run(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Map each package's files to it so diagnostics can be filtered by the
+	// package they were reported in.
+	selectedDir := make(map[string]bool)
 	for _, pkg := range pkgs {
 		if matches(loader.ModulePath(), pkg.Path, patterns) {
-			selected = append(selected, pkg)
+			selectedDir[pkg.Dir] = true
 		}
 	}
-	return analysis.Run(loader.Fset, selected, analyzers)
+	out := res.Diagnostics[:0]
+	for _, d := range res.Diagnostics {
+		if selectedDir[dirOf(d.Pos.Filename)] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// dirOf returns the directory of a diagnostic's file path.
+func dirOf(file string) string {
+	if i := strings.LastIndexByte(file, os.PathSeparator); i >= 0 {
+		return file[:i]
+	}
+	return "."
 }
 
 // matches reports whether the import path is selected by the patterns. An

@@ -1,0 +1,13 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), allocfree.Analyzer,
+		"bitmat", "cover")
+}

@@ -1,0 +1,26 @@
+// Package bitmat is a fixture standing in for the real word-wise hot layer:
+// entry points by name prefix (AndWords, PopAnd*), plus an injected
+// allocating helper whose Allocates fact the cover fixture consumes across
+// the package boundary.
+package bitmat
+
+// AndWords is a clean entry point: a pure word loop allocates nothing.
+func AndWords(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// Grow is the injected allocation. It is not an entry point itself, but it
+// is kernel-reachable: PopAndGrow below and the cover fixture's kernel both
+// call it, so the append must surface at every reachable report site.
+func Grow(dst []uint64, w uint64) []uint64 { // wantfact `allocfree: allocates: append`
+	return append(dst, w) // want `append on the kernel scan path`
+}
+
+// PopAndGrow is an entry point reaching Grow's append through an
+// intra-package call edge.
+func PopAndGrow(dst []uint64, w uint64) int {
+	dst = Grow(dst, w)
+	return len(dst)
+}

@@ -1,0 +1,55 @@
+// Package cover is a fixture for the kernel-side reporting: entry points
+// are the ^kernel functions, and the imported bitmat fixture supplies the
+// cross-package Allocates facts.
+package cover
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bitmat"
+)
+
+// kernelClean calls only vetted and allowlisted callees: no findings.
+func kernelClean(dst, a, b []uint64) float64 {
+	bitmat.AndWords(dst, a, b)
+	return math.Sqrt(float64(len(dst)))
+}
+
+// kernelGrow reaches the injected append through the imported fact.
+func kernelGrow(dst []uint64, w uint64) int {
+	buf := bitmat.Grow(dst, w) // want `calls bitmat\.Grow, which allocates: append`
+	return len(buf)
+}
+
+// kernelMake allocates directly.
+func kernelMake(n int) []uint64 {
+	buf := make([]uint64, n) // want `make on the kernel scan path`
+	return buf
+}
+
+// kernelSort calls into a stdlib package outside the allowlist.
+func kernelSort(xs []int) {
+	sort.Ints(xs) // want `calls sort\.Ints, which is outside the alloc-free allowlist`
+}
+
+// kernelGuard formats only on the dying path: panic arguments are cold and
+// exempt.
+func kernelGuard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+	return n
+}
+
+// kernelScratch carries a justified one-time allocation.
+func kernelScratch(n int) []uint64 {
+	return make([]uint64, n) //lint:allow allocfree one-time scratch setup outside the per-candidate loop
+}
+
+// setup allocates freely: not an entry point, so it is never reported here
+// (its Allocates fact is still exported for dependent packages).
+func setup(n int) []uint64 {
+	return make([]uint64, n)
+}

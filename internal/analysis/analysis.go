@@ -13,11 +13,24 @@
 //   - goroleak: worker goroutines must signal completion on every return path.
 //   - panicfree: the long-running cluster path returns errors, it does not
 //     panic.
+//   - allocfree: nothing reachable from the kernel scan entry points heap-
+//     allocates (protects the zero-alloc bound-and-prune engine).
+//   - ctxflow: loops driving long-running enumeration observe their context.
+//   - durawrite: checkpoint-path file IO routes through ckptstore's atomic
+//     publish, with checked Close/Sync and bounded reads.
+//   - atomicguard: state accessed via sync/atomic is never accessed plainly.
+//
+// The last four are interprocedural: analyzers export typed Facts about the
+// functions and objects of one package (see Fact) and consume them while
+// analyzing dependent packages. Run therefore visits packages in dependency
+// (package-DAG) order, and the lightweight per-package call graph in
+// callgraph.go gives analyzers the local edges to propagate facts over.
 //
 // The environment this repository builds in has no network access, so the
 // x/tools module cannot be fetched; the subset of its API the analyzers need
-// (Analyzer, Pass, diagnostics, an analysistest harness) is implemented here
-// instead, backed by the source loader in internal/analysis/load.
+// (Analyzer, Pass, facts, diagnostics, an analysistest harness) is
+// implemented here instead, backed by the source loader in
+// internal/analysis/load.
 //
 // Diagnostics are suppressed by a comment on the flagged line or the line
 // directly above it:
@@ -39,14 +52,48 @@ import (
 	"repro/internal/analysis/load"
 )
 
-// An Analyzer is one named check over a single package.
+// An Analyzer is one named check. It sees each package once, in dependency
+// order, and may export facts about the package's objects for later passes
+// over dependent packages to consume (see Fact).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and suppressions.
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// Scope, when non-empty, restricts the analyzer to packages whose
+	// import-path tail is listed. Analyzers that export or consume facts
+	// usually leave Scope empty — they must see every package to build
+	// their interprocedural tables — and restrict reporting themselves.
+	Scope []string
+	// Exclude lists import-path tails the analyzer skips; it applies after
+	// Scope. The package that owns an invariant is typically excluded from
+	// the check that enforces it everywhere else.
+	Exclude []string
+	// FactTypes lists prototype values of every Fact type the analyzer may
+	// export; exporting an undeclared type panics. Empty for analyzers
+	// that use no facts.
+	FactTypes []Fact
 	// Run applies the check to one package, reporting findings via the pass.
 	Run func(*Pass) error
+}
+
+// appliesTo reports whether the analyzer runs on a package path.
+func (a *Analyzer) appliesTo(path string) bool {
+	tail := PathTail(path)
+	for _, t := range a.Exclude {
+		if t == tail {
+			return false
+		}
+	}
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, t := range a.Scope {
+		if t == tail {
+			return true
+		}
+	}
+	return false
 }
 
 // A Pass presents one package to one analyzer.
@@ -63,6 +110,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	facts *factStore
 }
 
 // Reportf records a diagnostic at pos.
@@ -86,14 +134,38 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// Run applies every analyzer to every package and returns the diagnostics
-// that are not suppressed by //lint:allow comments, sorted by position.
-func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Result is the outcome of one Run: the surviving diagnostics plus the fact
+// table the analyzers built, which analysistest's "wantfact" assertions
+// inspect.
+type Result struct {
+	// Diagnostics are the unsuppressed findings, deduplicated and sorted
+	// by position.
+	Diagnostics []Diagnostic
+
+	facts *factStore
+}
+
+// Run applies every analyzer to every package in dependency (package-DAG)
+// order — so facts an analyzer exports while visiting a package are visible
+// when it later visits the package's dependents — and returns the
+// diagnostics that are not suppressed by //lint:allow comments,
+// deduplicated and sorted by position.
+//
+// Ordering is deterministic: dependencies before dependents, ties broken by
+// import path (load.DAGSort). Analyzers run in the order given within each
+// package. Duplicate diagnostics (same analyzer, position, and message) are
+// reported once — an analyzer revisiting a shared call site through two
+// entry points must not double-report it.
+func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{facts: newFactStore()}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range load.DAGSort(pkgs) {
 		allowed := suppressions(fset, pkg.Files)
 		var raw []Diagnostic
 		for _, a := range analyzers {
+			if !a.appliesTo(pkg.Path) {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      fset,
@@ -101,6 +173,7 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*Analyzer) ([]Di
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				diags:     &raw,
+				facts:     res.facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
@@ -123,9 +196,25 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*Analyzer) ([]Di
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	res.Diagnostics = dedup(diags)
+	return res, nil
+}
+
+// dedup collapses exact duplicates in a sorted diagnostic list.
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // lineKey addresses one source line.

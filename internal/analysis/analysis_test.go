@@ -1,0 +1,133 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// loadDemo loads the demo fixture package.
+func loadDemo(t *testing.T) (*load.Loader, []*load.Package) {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := load.FindModuleRoot(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.FixtureDir = filepath.Join(abs, "src")
+	pkg, err := loader.LoadDir(filepath.Join(abs, "src", "demo"), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, []*load.Package{pkg}
+}
+
+// funcDecls indexes the fixture's top-level functions by name.
+func funcDecls(pkgs []*load.Package) map[string]*ast.FuncDecl {
+	out := make(map[string]*ast.FuncDecl)
+	for _, f := range pkgs[0].Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out[fd.Name.Name] = fd
+			}
+		}
+	}
+	return out
+}
+
+// TestRunSortsDedupsAndSuppresses pins the diagnostic pipeline: exact
+// duplicates collapse to one, output is sorted by position regardless of
+// report order, and //lint:allow suppressions filter by analyzer name.
+func TestRunSortsDedupsAndSuppresses(t *testing.T) {
+	loader, pkgs := loadDemo(t)
+	a := &analysis.Analyzer{
+		Name: "dupes",
+		Doc:  "reports out of order with duplicates for the Run plumbing test",
+		Run: func(pass *analysis.Pass) error {
+			decls := funcDecls(pkgs)
+			pass.Reportf(decls["B"].Pos(), "finding in B")
+			pass.Reportf(decls["A"].Pos(), "finding in A")
+			pass.Reportf(decls["A"].Pos(), "finding in A")
+			pass.Reportf(decls["C"].Body.List[0].Pos(), "finding in C")
+			return nil
+		},
+	}
+	res, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (dup collapsed, suppression honored): %+v",
+			len(res.Diagnostics), res.Diagnostics)
+	}
+	if res.Diagnostics[0].Message != "finding in A" || res.Diagnostics[1].Message != "finding in B" {
+		t.Errorf("diagnostics not in source order: %q, %q",
+			res.Diagnostics[0].Message, res.Diagnostics[1].Message)
+	}
+	if p, q := res.Diagnostics[0].Pos, res.Diagnostics[1].Pos; p.Line >= q.Line {
+		t.Errorf("positions not ascending: line %d then %d", p.Line, q.Line)
+	}
+}
+
+// TestRunSuppressionIsPerAnalyzer pins that a //lint:allow names one
+// analyzer: a different analyzer reporting on the same line is not silenced.
+func TestRunSuppressionIsPerAnalyzer(t *testing.T) {
+	loader, pkgs := loadDemo(t)
+	a := &analysis.Analyzer{
+		Name: "other",
+		Doc:  "reports on the line suppressed for dupes",
+		Run: func(pass *analysis.Pass) error {
+			pass.Reportf(funcDecls(pkgs)["C"].Body.List[0].Pos(), "finding in C")
+			return nil
+		},
+	}
+	res, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (suppression is for dupes, not other): %+v",
+			len(res.Diagnostics), res.Diagnostics)
+	}
+}
+
+// TestRunScopeAndExclude pins the package filter: a Scope that does not
+// match the package's path tail skips it, as does a matching Exclude.
+func TestRunScopeAndExclude(t *testing.T) {
+	loader, pkgs := loadDemo(t)
+	ran := ""
+	mk := func(name string, scope, exclude []string) *analysis.Analyzer {
+		return &analysis.Analyzer{
+			Name:    name,
+			Doc:     "records whether it ran",
+			Scope:   scope,
+			Exclude: exclude,
+			Run: func(pass *analysis.Pass) error {
+				ran += name + ";"
+				return nil
+			},
+		}
+	}
+	_, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{
+		mk("inscope", []string{"demo"}, nil),
+		mk("offscope", []string{"elsewhere"}, nil),
+		mk("excluded", nil, []string{"demo"}),
+		mk("unscoped", nil, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != "inscope;unscoped;" {
+		t.Errorf("ran = %q, want %q", ran, "inscope;unscoped;")
+	}
+}

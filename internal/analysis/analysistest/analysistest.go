@@ -10,10 +10,28 @@
 // live under <testdata>/src/<name> and are loaded with import path <name>,
 // so an analyzer scoped by package-path tail can be pointed at an in-scope
 // or out-of-scope fixture by directory name alone. Fixtures may import the
-// real module's packages (for example repro/internal/combinat).
+// real module's packages (for example repro/internal/combinat) and each
+// other — a fixture "cover" package importing a fixture "bitmat" package is
+// how the cross-package fact flow is exercised. List dependency fixtures
+// before their dependents in Run's names (Run analyzes in DAG order either
+// way, but every named fixture is loaded and checked).
+//
+// Facts are asserted the same way, on the line of the declaration they
+// attach to:
+//
+//	func leak(dst []uint64) []uint64 { // wantfact `allocates`
+//
+// Each "wantfact" pattern must match a distinct fact exported on an object
+// declared on that line (matched against "analyzer: <fact>", where <fact>
+// is the fact's String/print form), and every exported fact on a line
+// bearing at least one wantfact comment must be matched. Facts on lines
+// without wantfact comments are not an error — analyzers export many
+// incidental facts — so fixtures opt lines into exhaustive checking by
+// annotating them.
 //
 // //lint:allow suppressions are honored, so fixtures can also assert that a
-// suppressed violation stays silent.
+// suppressed violation stays silent (the suppression fixtures of the
+// analysis package's own tests pin this).
 package analysistest
 
 import (
@@ -35,7 +53,8 @@ func TestData() string {
 
 // Run loads each fixture package from <testdata>/src/<name> and applies the
 // analyzer, failing the test on any mismatch between reported diagnostics
-// and // want expectations.
+// and // want expectations, or between exported facts and // wantfact
+// expectations.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, names ...string) {
 	t.Helper()
 	abs, err := filepath.Abs(testdata)
@@ -50,6 +69,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, names ...string) {
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	loader.FixtureDir = filepath.Join(abs, "src")
 	var pkgs []*load.Package
 	for _, name := range names {
 		pkg, err := loader.LoadDir(filepath.Join(abs, "src", filepath.FromSlash(name)), name)
@@ -58,22 +78,65 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, names ...string) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a})
+	res, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
 
-	wants := collectWants(t, loader.Fset, pkgs)
+	checkDiagnostics(t, loader.Fset, pkgs, res.Diagnostics)
+	checkFacts(t, loader.Fset, pkgs, res.ObjectFacts())
+}
+
+// checkDiagnostics matches reported diagnostics against // want comments.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, pkgs []*load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectExpectations(t, fset, pkgs, "want ")
 	for _, d := range diags {
 		k := lineKey{d.Pos.Filename, d.Pos.Line}
 		if !matchWant(wants[k], d.Message) {
 			t.Errorf("%s: unexpected diagnostic: %s (%s)", posString(d.Pos.Filename, d.Pos.Line), d.Message, d.Analyzer)
 		}
 	}
+	reportUnmatched(t, wants, "diagnostic")
+}
+
+// checkFacts matches exported object facts against // wantfact comments.
+// Only lines carrying at least one wantfact comment are checked
+// exhaustively; facts elsewhere are ignored.
+func checkFacts(t *testing.T, fset *token.FileSet, pkgs []*load.Package, facts []analysis.ObjectFact) {
+	t.Helper()
+	wants := collectExpectations(t, fset, pkgs, "wantfact ")
+	if len(wants) == 0 {
+		return
+	}
+	inFixture := make(map[string]bool)
+	for _, pkg := range pkgs {
+		inFixture[pkg.Types.Path()] = true
+	}
+	for _, f := range facts {
+		if f.Obj.Pkg() == nil || !inFixture[f.Obj.Pkg().Path()] {
+			continue
+		}
+		pos := fset.Position(f.Obj.Pos())
+		k := lineKey{pos.Filename, pos.Line}
+		if _, annotated := wants[k]; !annotated {
+			continue
+		}
+		msg := fmt.Sprintf("%s: %v", f.Analyzer, f.Fact)
+		if !matchWant(wants[k], msg) {
+			t.Errorf("%s: unexpected fact on %s: %s", posString(pos.Filename, pos.Line), f.Obj.Name(), msg)
+		}
+	}
+	reportUnmatched(t, wants, "fact")
+}
+
+// reportUnmatched fails the test for every expectation nothing matched.
+func reportUnmatched(t *testing.T, wants map[lineKey][]*want, kind string) {
+	t.Helper()
 	for k, ws := range wants {
 		for _, w := range ws {
 			if !w.matched {
-				t.Errorf("%s: no diagnostic matching %q", posString(k.file, k.line), w.re.String())
+				t.Errorf("%s: no %s matching %q", posString(k.file, k.line), kind, w.re.String())
 			}
 		}
 	}
@@ -104,8 +167,9 @@ func matchWant(ws []*want, msg string) bool {
 // wantPattern extracts quoted regexps from a want comment body.
 var wantPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
-// collectWants parses the // want comments of the fixture files.
-func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) map[lineKey][]*want {
+// collectExpectations parses the fixture files' expectation comments with
+// the given marker ("want " or "wantfact ").
+func collectExpectations(t *testing.T, fset *token.FileSet, pkgs []*load.Package, marker string) map[lineKey][]*want {
 	t.Helper()
 	out := make(map[lineKey][]*want)
 	for _, pkg := range pkgs {
@@ -113,7 +177,7 @@ func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) map[l
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-					rest, ok := strings.CutPrefix(text, "want ")
+					rest, ok := strings.CutPrefix(text, marker)
 					if !ok {
 						continue
 					}
@@ -126,7 +190,7 @@ func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) map[l
 						}
 						re, err := regexp.Compile(expr)
 						if err != nil {
-							t.Fatalf("%s: bad want pattern %q: %v", posString(k.file, k.line), expr, err)
+							t.Fatalf("%s: bad %s pattern %q: %v", posString(k.file, k.line), strings.TrimSpace(marker), expr, err)
 						}
 						out[k] = append(out[k], &want{re: re})
 					}

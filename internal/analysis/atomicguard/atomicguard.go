@@ -1,0 +1,153 @@
+// Package atomicguard machine-checks the mixed-access invariant of the
+// shared-incumbent reduction (Sec. III-D): an object accessed through the
+// function-style sync/atomic API must never also be accessed with a plain
+// read or write. A plain load racing an atomic store is a data race the
+// race detector only catches when a test happens to interleave it; in the
+// shared-best bound it silently weakens pruning (a stale bound admits
+// candidates) or, worse, publishes a torn best record.
+//
+// The engine's own answer to this invariant is the typed atomic API
+// (atomic.Uint64 and friends, as in reduce.SharedBest), which makes mixed
+// access unrepresentable — so a clean tree is the expected steady state,
+// and this analyzer exists to catch the regression where someone reaches
+// for atomic.AddUint64(&counter, 1) on a field that other code reads
+// plainly.
+//
+// The check is interprocedural: while analyzing the package that declares
+// an object, every `&obj` passed to a sync/atomic function exports an
+// Atomic fact for the object. Any later package (and the rest of the
+// declaring package) that reads or writes the object outside a sync/atomic
+// call argument is flagged. The declaring package is analyzed first
+// (dependency order), so the one blind spot is a dependent package
+// performing the only atomic access on an imported object while the
+// declaring package reads it plainly — the fact cannot flow backwards;
+// keeping atomics next to the declaration is the convention that closes
+// the gap.
+package atomicguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Atomic marks an object accessed through the function-style sync/atomic
+// API.
+type Atomic struct{}
+
+// AFact marks Atomic as a fact.
+func (*Atomic) AFact() {}
+
+func (*Atomic) String() string { return "atomic" }
+
+// Analyzer flags plain accesses to objects that are elsewhere accessed via
+// sync/atomic.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicguard",
+	Doc:       "flags plain reads/writes of objects accessed via function-style sync/atomic",
+	FactTypes: []analysis.Fact{new(Atomic)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find every `&obj` argument of a sync/atomic call; those
+	// object uses are sanctioned, and the objects join the atomic set.
+	local := make(map[types.Object]bool)
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				obj, id := addressedObject(pass, unary.X)
+				if obj == nil {
+					continue
+				}
+				local[obj] = true
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+
+	// Export facts for own-package objects; objects of other packages
+	// (rare: atomics on an imported variable) stay in the local set for
+	// this pass only.
+	exported := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !local[obj] || exported[obj] || obj.Pkg() != pass.Pkg {
+				return true
+			}
+			exported[obj] = true
+			pass.ExportObjectFact(obj, &Atomic{})
+			return true
+		})
+	}
+
+	// Pass 2: every other use of an atomic object — local set or imported
+	// fact — is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if sanctioned[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+			if !isAtomicObject(pass, local, obj) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %s, which is accessed via sync/atomic; every access must go through the atomic API (or migrate to a typed atomic, which makes mixed access impossible)", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicObject consults the local set and the fact table.
+func isAtomicObject(pass *analysis.Pass, local map[types.Object]bool, obj types.Object) bool {
+	if local[obj] {
+		return true
+	}
+	var fact Atomic
+	return pass.ImportObjectFact(obj, &fact)
+}
+
+// addressedObject resolves &x or &s.f to the variable or field object and
+// the identifier naming it.
+func addressedObject(pass *analysis.Pass, expr ast.Expr) (types.Object, *ast.Ident) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e], e
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel], e.Sel
+	}
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package atomicguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicguard"
+)
+
+func TestAtomicguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicguard.Analyzer,
+		"state", "reader")
+}

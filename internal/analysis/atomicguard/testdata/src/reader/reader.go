@@ -1,0 +1,25 @@
+// Package reader imports state and must not touch its counter plainly: the
+// Atomic fact crosses the package boundary.
+package reader
+
+import (
+	"sync/atomic"
+
+	"state"
+)
+
+// Snapshot loads through the API: clean.
+func Snapshot() uint64 {
+	return atomic.LoadUint64(&state.Hits)
+}
+
+// Racy reads the imported counter plainly.
+func Racy() uint64 {
+	return state.Hits // want `plain access to Hits, which is accessed via sync/atomic`
+}
+
+// allowed keeps a deliberate plain read under a suppression (a seqlock-style
+// reader would justify it like this).
+func allowed() uint64 {
+	return state.Hits //lint:allow atomicguard fixture asserts suppression keeps this silent
+}

@@ -1,0 +1,24 @@
+// Package state declares a counter accessed through the function-style
+// sync/atomic API; the exported Atomic fact makes plain access in dependent
+// packages a finding.
+package state
+
+import "sync/atomic"
+
+// Hits is atomically updated; every access must go through sync/atomic.
+var Hits uint64 // wantfact `atomicguard: atomic`
+
+// Bump adds one atomically.
+func Bump() {
+	atomic.AddUint64(&Hits, 1)
+}
+
+// Peek reads the counter plainly in the declaring package itself.
+func Peek() uint64 {
+	return Hits // want `plain access to Hits, which is accessed via sync/atomic`
+}
+
+// Sample reads it through the API: clean.
+func Sample() uint64 {
+	return atomic.LoadUint64(&Hits)
+}

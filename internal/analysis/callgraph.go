@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the lightweight call-graph layer the interprocedural
+// analyzers share. It is deliberately minimal: one node per declared
+// function or method of the package under analysis, one edge per statically
+// resolvable call. Calls through function values, interface methods, and
+// builtins have no edge — each analyzer documents how it treats the
+// resulting blind spots (allocfree and ctxflow both choose not to guess).
+
+// FuncNode is one declared function or method of the package under
+// analysis, with its statically resolvable callees.
+type FuncNode struct {
+	// Obj is the function's type-checker object — the key facts attach to.
+	Obj *types.Func
+	// Decl is the syntax, body included.
+	Decl *ast.FuncDecl
+	// Callees lists the resolved targets of every call in the body, in
+	// source order, possibly with repeats. Targets may be declared in this
+	// package (an intra-package edge) or imported (the fact boundary).
+	Callees []*Call
+}
+
+// Call is one statically resolved call site.
+type Call struct {
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// Fn is the resolved target.
+	Fn *types.Func
+}
+
+// CallGraph builds the package-local call graph: every function and method
+// declared by the pass's package, each with its resolved call sites. The
+// map is keyed by the function object; iterate deterministically via
+// pass.Files order using Decl positions if needed.
+func (p *Pass) CallGraph() map[*types.Func]*FuncNode {
+	nodes := make(map[*types.Func]*FuncNode)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Obj: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if target := Callee(p.TypesInfo, call); target != nil {
+					node.Callees = append(node.Callees, &Call{Site: call, Fn: target})
+				}
+				return true
+			})
+			nodes[fn] = node
+		}
+	}
+	return nodes
+}
+
+// SortedFuncs returns the call graph's nodes in source order, for
+// deterministic iteration.
+func SortedFuncs(nodes map[*types.Func]*FuncNode) []*FuncNode {
+	out := make([]*FuncNode, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n)
+	}
+	// Positions within one package's FileSet are totally ordered.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Decl.Pos() < out[j-1].Decl.Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ReceiverOrParamContext reports whether the function takes a
+// context.Context anywhere in its signature (receiver excluded).
+func ReceiverOrParamContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if IsContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

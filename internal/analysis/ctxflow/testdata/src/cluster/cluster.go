@@ -1,0 +1,44 @@
+// Package cluster is a fixture consuming the cover fixture's LongRunning
+// and CtxAware facts across the package boundary.
+package cluster
+
+import (
+	"context"
+
+	"cover"
+)
+
+// Discover loops over legs without observing cancellation: flagged through
+// the imported LongRunning fact.
+func Discover(xs []uint64, iters int) uint64 {
+	var best uint64
+	for i := 0; i < iters; i++ {
+		if v := cover.FindBest(xs); v > best { // want `loop drives long-running FindBest but never observes ctx\.Done/ctx\.Err`
+			best = v
+		}
+	}
+	return best
+}
+
+// DiscoverCtx forwards the context to the ctx-aware driver: clean, through
+// the imported CtxAware fact.
+func DiscoverCtx(ctx context.Context, xs []uint64, iters int) (uint64, error) {
+	var best uint64
+	for i := 0; i < iters; i++ {
+		v, err := cover.FindBestCtx(ctx, xs)
+		if err != nil {
+			return best, err
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// benchLoop is deliberately unstoppable and says so.
+func benchLoop(xs []uint64, iters int) {
+	for i := 0; i < iters; i++ {
+		cover.FindBest(xs) //lint:allow ctxflow benchmark fixture loops to completion on purpose
+	}
+}

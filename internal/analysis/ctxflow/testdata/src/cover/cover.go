@@ -1,0 +1,83 @@
+// Package cover is a fixture seeding the LongRunning facts (the
+// FindBest-family names and the ^kernel entry points) and the CtxAware
+// fact, and exercising the loop check in the scan-driver layer itself.
+package cover
+
+import "context"
+
+// kernelScan is LongRunning by the ^kernel seed; its own candidate loop
+// calls nothing long-running and stays unflagged by design.
+func kernelScan(xs []uint64) uint64 {
+	var acc uint64
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+// FindBest is a seeded scan driver.
+func FindBest(xs []uint64) uint64 { // wantfact `ctxflow: long-running`
+	return kernelScan(xs)
+}
+
+// FindBestCtx is seeded LongRunning and CtxAware: it observes ctx.Err.
+func FindBestCtx(ctx context.Context, xs []uint64) (uint64, error) { // wantfact `ctxflow: long-running` `ctxflow: ctx-aware`
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return kernelScan(xs), nil
+}
+
+// Run loops over scan legs with no context anywhere: flagged.
+func Run(xs []uint64, iters int) uint64 {
+	var best uint64
+	for i := 0; i < iters; i++ {
+		v := FindBest(xs) // want `loop drives long-running FindBest but never observes ctx\.Done/ctx\.Err`
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// RunCtx observes cancellation between legs: clean.
+func RunCtx(ctx context.Context, xs []uint64, iters int) (uint64, error) {
+	var best uint64
+	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
+		if v := FindBest(xs); v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// RunForward never touches ctx.Done/ctx.Err itself but hands the context to
+// a CtxAware callee each iteration, which yields on cancellation for it:
+// clean.
+func RunForward(ctx context.Context, xs []uint64, iters int) uint64 {
+	var best uint64
+	for i := 0; i < iters; i++ {
+		v, err := FindBestCtx(ctx, xs)
+		if err != nil {
+			return best
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Launch shows that a worker closure is its own scope: the loop inside must
+// observe cancellation itself, no matter what the enclosing function does.
+func Launch(ctx context.Context, xs []uint64, iters int) {
+	_ = ctx.Err()
+	go func() {
+		for i := 0; i < iters; i++ {
+			FindBest(xs) // want `loop drives long-running FindBest but never observes ctx\.Done/ctx\.Err`
+		}
+	}()
+}

@@ -1,0 +1,322 @@
+// Package durawrite machine-checks the durability invariant of the
+// checkpoint path (Sec. IV-B of the runner design, docs/INVARIANTS.md): a
+// checkpoint either exists completely on disk or not at all. That only
+// holds when every checkpoint write goes through ckptstore's atomic publish
+// — write to a temp file, fsync the file, rename into place, fsync the
+// directory — and when no write or close error is silently dropped (a
+// failed Close on a buffered write is a failed write).
+//
+// Within the scoped packages (ckptstore, cover, harness, multihit — the
+// layers that produce or consume checkpoint files), three rules:
+//
+//  1. Raw file-creation APIs (os.Create, os.WriteFile, os.OpenFile) outside
+//     internal/ckptstore are flagged: the checkpoint path has exactly one
+//     blessed writer. ckptstore itself is where the temp+fsync+rename dance
+//     lives, so its own use of those APIs is the implementation, not a
+//     violation. The analyzer exports a DurableWriter fact for the
+//     ckptstore functions that perform the rename publish, and names them
+//     in the diagnostic so the fix is self-evident.
+//  2. A discarded Close or Sync error on an *os.File — a bare `f.Close()`
+//     statement, `_ = f.Close()`, or a `defer f.Close()` on a handle opened
+//     for writing — is flagged. (A deferred Close on a read-only handle is
+//     idiomatic and allowed.)
+//  3. An unbounded read (io.ReadAll, os.ReadFile) is flagged: checkpoint
+//     frames carry a length header with a hard cap, and a truncated or
+//     corrupted header must not make the reader attempt an absurd
+//     allocation. Bound the read with io.LimitReader or read into a sized
+//     buffer.
+//
+// Everything here is intentionally syntactic and local except the
+// DurableWriter fact; the value of the analyzer is that the checkpoint
+// write protocol cannot regress silently in any of the four packages that
+// touch checkpoint bytes.
+package durawrite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// DurableWriter marks a ckptstore function that performs the atomic
+// temp+fsync+rename publish.
+type DurableWriter struct{}
+
+// AFact marks DurableWriter as a fact.
+func (*DurableWriter) AFact() {}
+
+func (*DurableWriter) String() string { return "durable-writer" }
+
+// Analyzer flags checkpoint-path file IO that bypasses the atomic publish
+// protocol or drops write errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "durawrite",
+	Doc:  "flags checkpoint-path file IO bypassing ckptstore's atomic publish, discarded Close/Sync errors, and unbounded reads",
+	// The packages that produce or consume checkpoint files.
+	Scope:     []string{"ckptstore", "cover", "harness", "multihit"},
+	FactTypes: []analysis.Fact{new(DurableWriter)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	inCkptstore := analysis.PathTail(pass.Pkg.Path()) == "ckptstore"
+	if inCkptstore {
+		exportDurableWriters(pass)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, inCkptstore)
+		}
+	}
+	return nil
+}
+
+// exportDurableWriters marks the ckptstore functions containing the rename
+// publish step.
+func exportDurableWriters(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			renames := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := analysis.Callee(pass.TypesInfo, call); isPkgFunc(fn, "os", "Rename") {
+					renames = true
+				}
+				return true
+			})
+			if !renames {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				pass.ExportObjectFact(obj, &DurableWriter{})
+			}
+		}
+	}
+}
+
+// checkFunc applies the three rules to one function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, inCkptstore bool) {
+	// writeHandles collects the *os.File variables this function opened
+	// for writing, so rule 2 can tell a write-side defer Close from a
+	// harmless read-side one.
+	writeHandles := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok {
+			recordWriteHandles(pass, assign, writeHandles)
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkRawWrite(pass, n, inCkptstore)
+			checkUnboundedRead(pass, n)
+		case *ast.ExprStmt:
+			// Bare `f.Close()` / `f.Sync()` statement.
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := discardedFileCall(pass, call); ok {
+					pass.Reportf(call.Pos(),
+						"%s error discarded on the checkpoint path; a failed %s is a failed write — check it", name, name)
+				}
+			}
+		case *ast.AssignStmt:
+			// `_ = f.Close()` discards just as silently.
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" || i >= len(n.Rhs) {
+					continue
+				}
+				if call, ok := n.Rhs[i].(*ast.CallExpr); ok {
+					if name, ok := discardedFileCall(pass, call); ok {
+						pass.Reportf(call.Pos(),
+							"%s error discarded on the checkpoint path; a failed %s is a failed write — check it", name, name)
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if name, ok := discardedFileCall(pass, n.Call); ok && name == "Close" {
+				if recv := receiverObject(pass, n.Call); recv != nil && writeHandles[recv] {
+					pass.Reportf(n.Pos(),
+						"deferred Close on a write handle discards the flush error; close explicitly after the last write and check it")
+				}
+			}
+			return false // the deferred call itself was just handled
+		}
+		return true
+	})
+}
+
+// recordWriteHandles notes variables assigned from a write-mode open.
+func recordWriteHandles(pass *analysis.Pass, assign *ast.AssignStmt, out map[types.Object]bool) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	writeOpen := isPkgFunc(fn, "os", "Create") ||
+		(isPkgFunc(fn, "os", "OpenFile") && len(call.Args) >= 2 && mentionsWriteFlag(call.Args[1]))
+	if !writeOpen {
+		return
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		out[obj] = true
+	} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		out[obj] = true
+	}
+}
+
+// mentionsWriteFlag reports whether the flag expression references a
+// writing open mode.
+func mentionsWriteFlag(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkRawWrite flags raw file-creation APIs outside ckptstore.
+func checkRawWrite(pass *analysis.Pass, call *ast.CallExpr, inCkptstore bool) {
+	if inCkptstore {
+		return
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	var raw string
+	switch {
+	case isPkgFunc(fn, "os", "Create"):
+		raw = "os.Create"
+	case isPkgFunc(fn, "os", "WriteFile"):
+		raw = "os.WriteFile"
+	case isPkgFunc(fn, "os", "OpenFile") && len(call.Args) >= 2 && mentionsWriteFlag(call.Args[1]):
+		raw = "os.OpenFile(...write...)"
+	default:
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"raw %s on the checkpoint path; route the write through ckptstore's atomic publish (%s) so a crash cannot leave a torn file",
+		raw, durableWriterNames(pass))
+}
+
+// durableWriterNames lists the fact-carrying ckptstore entry points for the
+// diagnostic, or a generic hint when none are in scope (fixtures).
+func durableWriterNames(pass *analysis.Pass) string {
+	var names []string
+	for _, of := range pass.AllObjectFacts() {
+		if _, ok := of.Fact.(*DurableWriter); ok && ast.IsExported(of.Obj.Name()) {
+			names = append(names, of.Obj.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "temp+fsync+rename"
+	}
+	return strings.Join(names, ", ")
+}
+
+// checkUnboundedRead flags io.ReadAll and os.ReadFile. io.ReadAll whose
+// argument is a direct io.LimitReader(...) call is the sanctioned bounded
+// pattern and passes.
+func checkUnboundedRead(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	var what string
+	switch {
+	case isPkgFunc(fn, "io", "ReadAll"):
+		if len(call.Args) == 1 {
+			if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+				if lr := analysis.Callee(pass.TypesInfo, inner); lr != nil && isPkgFunc(lr, "io", "LimitReader") {
+					return
+				}
+			}
+		}
+		what = "io.ReadAll"
+	case isPkgFunc(fn, "os", "ReadFile"):
+		what = "os.ReadFile"
+	default:
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"unbounded %s on the checkpoint path; a corrupt length header must not drive the allocation — bound it with io.LimitReader or a sized buffer", what)
+}
+
+// discardedFileCall reports whether call is Close or Sync on an *os.File
+// whose error result is being discarded by the caller context.
+func discardedFileCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Close" && sel.Sel.Name != "Sync" {
+		return "", false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil || !isOSFile(t) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// receiverObject resolves the object of a method call's receiver variable.
+func receiverObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// isOSFile reports whether t is *os.File (or os.File).
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// isPkgFunc reports whether fn is the named function of the named package.
+func isPkgFunc(fn *types.Func, pkg, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}

@@ -1,0 +1,49 @@
+// Package ckptstore is a fixture standing in for the real store: the
+// publish function exports the DurableWriter fact that the multihit
+// fixture's diagnostics name, and raw write APIs inside this package are
+// the implementation rather than a violation.
+package ckptstore
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFileAtomic is the blessed publish: temp file, fsync, rename.
+func WriteFileAtomic(path string, data []byte) error { // wantfact `durawrite: durable-writer`
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// load is bounded: ReadAll through LimitReader passes, and a deferred Close
+// on a read-only handle is idiomatic.
+func load(path string, max int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(io.LimitReader(f, max))
+}
+
+// sloppySync drops errors even though this is the durability layer: rules 2
+// and 3 apply inside ckptstore too.
+func sloppySync(f *os.File, path string) ([]byte, error) {
+	f.Sync()                 // want `Sync error discarded on the checkpoint path`
+	_ = f.Close()            // want `Close error discarded on the checkpoint path`
+	return os.ReadFile(path) // want `unbounded os\.ReadFile on the checkpoint path`
+}

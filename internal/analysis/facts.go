@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is a typed datum one analyzer attaches to a function, variable, or
+// package while analyzing the package that declares it, and consumes while
+// analyzing packages that depend on it. Facts are what turn the per-package
+// lints into interprocedural invariant checks: allocfree exports "this
+// function allocates" from internal/bitmat and consults it at the call sites
+// inside internal/cover's kernels; ctxflow exports "this callee observes its
+// context"; atomicguard exports "this object is accessed atomically".
+//
+// Facts are in-memory only — the whole module is analyzed in one process, in
+// dependency order (see Run), so no serialization is needed. A Fact type
+// must be declared in the exporting Analyzer's FactTypes, and should
+// implement fmt.Stringer so analysistest "wantfact" assertions can match it.
+type Fact interface {
+	// AFact marks the type as a fact; it has no behavior.
+	AFact()
+}
+
+// ObjectFact pairs an object with one fact attached to it.
+type ObjectFact struct {
+	// Analyzer is the name of the analyzer that exported the fact.
+	Analyzer string
+	// Obj is the object the fact describes.
+	Obj types.Object
+	// Fact is the fact value.
+	Fact Fact
+}
+
+// PackageFact pairs a package with one fact attached to it.
+type PackageFact struct {
+	// Analyzer is the name of the analyzer that exported the fact.
+	Analyzer string
+	// Pkg is the package the fact describes.
+	Pkg *types.Package
+	// Fact is the fact value.
+	Fact Fact
+}
+
+// objKey addresses the facts one analyzer attached to one object.
+type objKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// pkgKey addresses the facts one analyzer attached to one package.
+type pkgKey struct {
+	analyzer string
+	pkg      *types.Package
+}
+
+// factStore is the run-wide fact table. Packages are analyzed in
+// dependency order and share one type-checker universe (one load.Loader),
+// so an object imported by a dependent package is the identical
+// types.Object the defining package exported facts on.
+type factStore struct {
+	object map[objKey][]Fact
+	pkg    map[pkgKey][]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		object: make(map[objKey][]Fact),
+		pkg:    make(map[pkgKey][]Fact),
+	}
+}
+
+// declared reports whether the analyzer declared f's dynamic type in its
+// FactTypes.
+func declared(a *Analyzer, f Fact) bool {
+	t := reflect.TypeOf(f)
+	for _, proto := range a.FactTypes {
+		if reflect.TypeOf(proto) == t {
+			return true
+		}
+	}
+	return false
+}
+
+// ExportObjectFact attaches a fact to obj on behalf of the pass's analyzer.
+// The object must be declared in the package under analysis (facts about
+// other packages' objects belong to their own pass), and the fact's type
+// must be declared in the analyzer's FactTypes.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	if obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("analysis: %s exports a fact about %v, which %s does not declare",
+			p.Analyzer.Name, obj, p.Pkg.Path()))
+	}
+	if !declared(p.Analyzer, f) {
+		panic(fmt.Sprintf("analysis: %s exports undeclared fact type %T", p.Analyzer.Name, f))
+	}
+	k := objKey{p.Analyzer.Name, obj}
+	p.facts.object[k] = append(p.facts.object[k], f)
+}
+
+// ImportObjectFact copies into ptr the fact of ptr's dynamic type attached
+// to obj by this pass's analyzer (in this or an earlier-analyzed package),
+// reporting whether one was found. ptr must be a non-nil pointer to a
+// declared fact type — the same contract as x/tools.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if obj == nil {
+		return false
+	}
+	return importFact(p.facts.object[objKey{p.Analyzer.Name, obj}], ptr)
+}
+
+// ExportPackageFact attaches a fact to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if !declared(p.Analyzer, f) {
+		panic(fmt.Sprintf("analysis: %s exports undeclared fact type %T", p.Analyzer.Name, f))
+	}
+	k := pkgKey{p.Analyzer.Name, p.Pkg}
+	p.facts.pkg[k] = append(p.facts.pkg[k], f)
+}
+
+// ImportPackageFact copies into ptr the fact of ptr's dynamic type attached
+// to pkg by this pass's analyzer, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	return importFact(p.facts.pkg[pkgKey{p.Analyzer.Name, pkg}], ptr)
+}
+
+// importFact copies the first fact whose dynamic type matches *ptr into ptr.
+func importFact(facts []Fact, ptr Fact) bool {
+	v := reflect.ValueOf(ptr)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		panic(fmt.Sprintf("analysis: ImportFact target %T is not a non-nil pointer", ptr))
+	}
+	for _, f := range facts {
+		fv := reflect.ValueOf(f)
+		if fv.Type() == v.Type() {
+			v.Elem().Set(fv.Elem())
+			return true
+		}
+		// Prototype exported by value, imported through a pointer.
+		if fv.Type() == v.Type().Elem() {
+			v.Elem().Set(fv)
+			return true
+		}
+	}
+	return false
+}
+
+// AllObjectFacts returns every object fact exported by this pass's analyzer
+// so far, across all packages already analyzed, sorted by object position.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	for k, facts := range p.facts.object {
+		if k.analyzer != p.Analyzer.Name {
+			continue
+		}
+		for _, f := range facts {
+			out = append(out, ObjectFact{Analyzer: k.analyzer, Obj: k.obj, Fact: f})
+		}
+	}
+	sortObjectFacts(out)
+	return out
+}
+
+// sortObjectFacts orders facts by object position then analyzer, giving
+// deterministic iteration over the map-backed store.
+func sortObjectFacts(facts []ObjectFact) {
+	sort.Slice(facts, func(i, j int) bool {
+		a, b := facts[i], facts[j]
+		if a.Obj.Pos() != b.Obj.Pos() {
+			return a.Obj.Pos() < b.Obj.Pos()
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return fmt.Sprint(a.Fact) < fmt.Sprint(b.Fact)
+	})
+}
+
+// ObjectFacts returns every object fact exported during the run, across all
+// analyzers, sorted by object position. It is the hook analysistest's
+// "wantfact" assertions and debugging tools read the fact table through.
+func (r *Result) ObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	for k, facts := range r.facts.object {
+		for _, f := range facts {
+			out = append(out, ObjectFact{Analyzer: k.analyzer, Obj: k.obj, Fact: f})
+		}
+	}
+	sortObjectFacts(out)
+	return out
+}
+
+// PackageFacts returns every package fact exported during the run, sorted
+// by package path then analyzer.
+func (r *Result) PackageFacts() []PackageFact {
+	var out []PackageFact
+	for k, facts := range r.facts.pkg {
+		for _, f := range facts {
+			out = append(out, PackageFact{Analyzer: k.analyzer, Pkg: k.pkg, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pkg.Path() != b.Pkg.Path() {
+			return a.Pkg.Path() < b.Pkg.Path()
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -28,23 +28,13 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "goroleak",
 	Doc:  "flags go func literals in the parallel packages lacking a completion signal on every return path",
-	Run:  run,
-}
-
-// scope is the set of package-path tails whose goroutines feed WaitGroups
-// and channels on the long-running cluster path.
-var scope = map[string]bool{
-	"cover":   true,
-	"cluster": true,
-	"mpisim":  true,
-	"gpusim":  true,
-	"harness": true,
+	// The packages whose goroutines feed WaitGroups and channels on the
+	// long-running cluster path.
+	Scope: []string{"cover", "cluster", "mpisim", "gpusim", "harness"},
+	Run:   run,
 }
 
 func run(pass *analysis.Pass) error {
-	if !scope[analysis.PathTail(pass.Pkg.Path())] {
-		return nil
-	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			g, ok := n.(*ast.GoStmt)

@@ -42,10 +42,21 @@ type Package struct {
 }
 
 // Loader loads packages for one module. It memoizes by import path, so a
-// package shared by several roots is checked once.
+// package shared by several roots is checked once — which also means every
+// package in a run shares one type-checker universe: an object imported by
+// a dependent package IS the object of the defining package, the identity
+// the analysis fact store relies on.
 type Loader struct {
 	// Fset is the file set shared by every loaded package.
 	Fset *token.FileSet
+
+	// FixtureDir, when set, resolves otherwise-unknown single-element
+	// import paths against <FixtureDir>/<path> before falling back to the
+	// standard library. analysistest sets it to its testdata/src directory
+	// so fixture packages can import sibling fixtures — the way a fixture
+	// "cover" package imports a fixture "bitmat" package to exercise
+	// cross-package facts.
+	FixtureDir string
 
 	root    string // module root directory
 	modPath string // module path from go.mod
@@ -189,7 +200,8 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 }
 
 // Import implements types.Importer: module-internal paths are loaded from
-// source under the module root; everything else goes to the standard
+// source under the module root, fixture-sibling paths (see FixtureDir)
+// from the fixture tree, and everything else goes to the standard
 // library's source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
@@ -207,7 +219,86 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	if l.FixtureDir != "" && !strings.Contains(path, "/") {
+		if dir := filepath.Join(l.FixtureDir, path); hasGoFiles(dir) {
+			if pkg, ok := l.pkgs[path]; ok {
+				return pkg.Types, nil
+			}
+			pkg, err := l.check(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
 	return l.std.Import(path)
+}
+
+// DAGSort orders packages dependencies-first: a package appears after every
+// package in the slice it (transitively) imports. Ties — packages with no
+// ordering constraint between them — break by import path, so the order is
+// deterministic for any input permutation. Imports outside the given slice
+// impose no constraint. The input is not modified.
+//
+// This is the order analysis.Run visits packages in, so facts exported
+// while analyzing a dependency are always on the table before any dependent
+// is analyzed.
+func DAGSort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	// indegree counts in-set imports; dependents lists reverse edges.
+	indegree := make(map[string]int, len(pkgs))
+	dependents := make(map[string][]string, len(pkgs))
+	for _, p := range pkgs {
+		indegree[p.Path] += 0
+		for _, imp := range p.Types.Imports() {
+			if _, ok := byPath[imp.Path()]; ok {
+				indegree[p.Path]++
+				dependents[imp.Path()] = append(dependents[imp.Path()], p.Path)
+			}
+		}
+	}
+	var ready []string
+	for path, d := range indegree {
+		if d == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+	out := make([]*Package, 0, len(pkgs))
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		out = append(out, byPath[path])
+		var freed []string
+		for _, dep := range dependents[path] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				freed = append(freed, dep)
+			}
+		}
+		if len(freed) > 0 {
+			ready = append(ready, freed...)
+			sort.Strings(ready)
+		}
+	}
+	// A cycle is impossible for type-checked Go packages, but stay total:
+	// append whatever remains, by path.
+	if len(out) < len(pkgs) {
+		var rest []string
+		for path, d := range indegree {
+			if d > 0 {
+				rest = append(rest, path)
+			}
+		}
+		sort.Strings(rest)
+		for _, path := range rest {
+			out = append(out, byPath[path])
+		}
+	}
+	return out
 }
 
 // check parses and type-checks one directory as the package at path.

@@ -34,22 +34,16 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "panicfree",
 	Doc:  "flags panic and combinat.Must* calls in library code on the long-running cluster path",
-	Run:  run,
-}
-
-// scope is the set of package-path tails on the cluster path that must
-// return errors instead of panicking.
-var scope = map[string]bool{
-	"cluster": true,
-	"cover":   true,
-	"sched":   true,
-	"mpisim":  true,
-	"gpusim":  true,
-	"harness": true,
+	// The cluster-path packages that must return errors instead of
+	// panicking.
+	Scope: []string{"cluster", "cover", "sched", "mpisim", "gpusim", "harness"},
+	Run:   run,
 }
 
 func run(pass *analysis.Pass) error {
-	if pass.Pkg.Name() == "main" || !scope[analysis.PathTail(pass.Pkg.Path())] {
+	// Scope selects the cluster path; main packages within it stay exempt
+	// (a driver may die loudly).
+	if pass.Pkg.Name() == "main" {
 		return nil
 	}
 	for _, file := range pass.Files {

@@ -1,0 +1,12 @@
+// Package demo is a fixture for the analysis.Run plumbing tests: the test
+// analyzer reports findings on A, B, and C out of source order, with an
+// exact duplicate, and C's site carries a suppression.
+package demo
+
+func A() int { return 1 }
+
+func B() int { return 2 }
+
+func C() int {
+	return 3 //lint:allow dupes deliberate suppression exercised by the Run test
+}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -182,62 +183,74 @@ func (s *Store) Save(payload []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	gen := s.nextGen
-	final := s.path(gen)
-	tmp := final + tempExt
-
-	if err := failpoint.Check("ckptstore/write"); err != nil {
-		return 0, fmt.Errorf("ckptstore: writing generation %d: %w", gen, err)
+	if err := WriteFileAtomic(s.path(gen), Encode(payload), 0o644); err != nil {
+		return 0, fmt.Errorf("ckptstore: generation %d: %w", gen, err)
 	}
-	if err := os.WriteFile(tmp, Encode(payload), 0o644); err != nil {
-		return 0, fmt.Errorf("ckptstore: %w", err)
-	}
-	if err := s.syncFile(tmp); err != nil {
-		_ = os.Remove(tmp)
-		return 0, err
-	}
-	if err := failpoint.Check("ckptstore/rename"); err != nil {
-		// Simulated crash between fsync and rename: the temp file stays
-		// behind, exactly as a real kill would leave it.
-		return 0, fmt.Errorf("ckptstore: publishing generation %d: %w", gen, err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		_ = os.Remove(tmp)
-		return 0, fmt.Errorf("ckptstore: %w", err)
-	}
-	s.syncDir()
 	s.nextGen = gen + 1
 	s.prune(gen)
 	return gen, nil
 }
 
+// WriteFileAtomic publishes data at path with the store's full durability
+// protocol: write to a same-directory temp file, fsync it, rename into
+// place, fsync the directory. A crash at any instant leaves either the old
+// path contents or the new — never a torn file. It is the one blessed way
+// to write a checkpoint-path file outside the store proper (the durawrite
+// analyzer flags raw writes in those packages), so crash-safety lives in
+// exactly one place. Failpoints: ckptstore/write, ckptstore/sync,
+// ckptstore/rename.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + tempExt
+	if err := failpoint.Check("ckptstore/write"); err != nil {
+		return fmt.Errorf("writing %s: %w", filepath.Base(path), err)
+	}
+	if err := os.WriteFile(tmp, data, perm); err != nil {
+		return err
+	}
+	if err := syncFile(tmp); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := failpoint.Check("ckptstore/rename"); err != nil {
+		// Simulated crash between fsync and rename: the temp file stays
+		// behind, exactly as a real kill would leave it.
+		return fmt.Errorf("publishing %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
 // syncFile fsyncs one file. Failpoint: ckptstore/sync.
-func (s *Store) syncFile(path string) error {
+func syncFile(path string) error {
 	if err := failpoint.Check("ckptstore/sync"); err != nil {
-		return fmt.Errorf("ckptstore: syncing %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("syncing %s: %w", filepath.Base(path), err)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
-		return fmt.Errorf("ckptstore: %w", err)
+		return err
 	}
 	err = f.Sync()
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	if err != nil {
-		return fmt.Errorf("ckptstore: %w", err)
-	}
-	return nil
+	return err
 }
 
-// syncDir fsyncs the directory so the rename itself is durable.
-// Best-effort: some filesystems reject directory fsync.
-func (s *Store) syncDir() {
-	d, err := os.Open(s.dir)
+// syncDir fsyncs a directory so a rename inside it is durable.
+// Best-effort: some filesystems reject directory fsync outright (EINVAL),
+// and by this point the renamed file's own bytes are already fsynced — the
+// worst a lost directory entry costs is falling back one generation.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
 	if err != nil {
 		return
 	}
-	_ = d.Sync()
-	_ = d.Close()
+	_ = d.Sync()  //lint:allow durawrite best-effort directory fsync; EINVAL on some filesystems and the file itself is already durable
+	_ = d.Close() //lint:allow durawrite read-only directory handle; Close after a best-effort Sync has no write to lose
 }
 
 // prune removes generations older than the retain horizon. Best-effort:
@@ -298,14 +311,29 @@ func (s *Store) Load() (*Snapshot, error) {
 		len(gens), skipped[0].Err, ErrCorrupt)
 }
 
+// maxFileSize bounds a single-record checkpoint file: header, one frame,
+// one MaxPayload record. A file larger than this cannot decode to a legal
+// single Save, so reading is capped here rather than trusting the file
+// length — a corrupt (or hostile) multi-gigabyte file costs one bounded
+// read, not an unbounded allocation.
+const maxFileSize = int64(headerSize+frameSize) + MaxPayload
+
 // LoadGeneration reads and validates one specific generation.
 func (s *Store) LoadGeneration(gen uint64) ([]byte, error) {
 	if err := failpoint.Check("ckptstore/load"); err != nil {
 		return nil, fmt.Errorf("ckptstore: reading generation %d: %w", gen, err)
 	}
-	data, err := os.ReadFile(s.path(gen))
+	f, err := os.Open(s.path(gen))
 	if err != nil {
 		return nil, fmt.Errorf("ckptstore: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, maxFileSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: %w", err)
+	}
+	if int64(len(data)) > maxFileSize {
+		return nil, fmt.Errorf("ckptstore: generation %d: %w: file exceeds %d bytes", gen, ErrCorrupt, maxFileSize)
 	}
 	payload, err := Decode(data)
 	if err != nil {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -79,6 +80,15 @@ func discoverPerNode(curve sched.Curve, scheduler cover.Scheduler, nodes, gpn in
 // Every rank holds the full input matrices (as on Summit, where the
 // compressed inputs are small); only the 20-byte winners cross the fabric.
 func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*DiscoverResult, error) {
+	return DiscoverCtx(context.Background(), spec, tumor, normal, opt)
+}
+
+// DiscoverCtx is Discover under a caller-supplied context. Every rank
+// checks the context at each iteration and each per-GPU scan observes it
+// between partitions (cover.FindBestRangeCtx), so a cancelled campaign
+// stops within one partition of kernel work instead of finishing the
+// multi-iteration cover.
+func DiscoverCtx(ctx context.Context, spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*DiscoverResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,6 +153,9 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 		active := bitmat.AllOnes(tumor.Samples())
 		buf := make([]uint64, tumor.Words())
 		for iter := 0; opt.MaxIterations == 0 || iter < opt.MaxIterations; iter++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if active.PopCount() == 0 {
 				break
 			}
@@ -153,7 +166,7 @@ func Discover(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options) (*Disc
 			for d := 0; d < spec.GPUsPerNode; d++ {
 				g := r.ID()*spec.GPUsPerNode + d
 				part := perNode[r.ID()][d]
-				best, n, err := cover.FindBestRange(tumor, normal, active, opt, part.Lo, part.Hi)
+				best, n, err := cover.FindBestRangeCtx(ctx, tumor, normal, active, opt, part.Lo, part.Hi)
 				if err != nil {
 					return err
 				}

@@ -22,6 +22,7 @@ package cluster
 // armed ranks the recovered root cause would race in real time.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,15 +50,18 @@ type hostGreedy struct {
 // deterministic field; the Evaluated/Pruned split depends on how early
 // the shared incumbent rises, which differs between a full-domain scan
 // and per-range scans with range-local incumbents.
-func runHostGreedy(tumor, normal *bitmat.Matrix, opt cover.Options) (*hostGreedy, error) {
+func runHostGreedy(ctx context.Context, tumor, normal *bitmat.Matrix, opt cover.Options) (*hostGreedy, error) {
 	active := bitmat.AllOnes(tumor.Samples())
 	buf := make([]uint64, tumor.Words())
 	hg := &hostGreedy{}
 	for iter := 0; opt.MaxIterations == 0 || iter < opt.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if active.PopCount() == 0 {
 			break
 		}
-		winner, cnt, err := cover.FindBest(tumor, normal, active, opt)
+		winner, cnt, err := cover.FindBestCtx(ctx, tumor, normal, active, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -164,6 +168,13 @@ func runDiscoverLeg(spec Spec, plan FaultPlan, busiest []float64,
 // VirtualSeconds carries the recovery overhead and Recovery itemises it.
 // An empty plan reproduces Discover's virtual time exactly.
 func DiscoverFaults(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options, plan FaultPlan) (*DiscoverResult, error) {
+	return DiscoverFaultsCtx(context.Background(), spec, tumor, normal, opt, plan)
+}
+
+// DiscoverFaultsCtx is DiscoverFaults under a caller-supplied context: the
+// host-side greedy replay (the only real kernel work in this path) observes
+// cancellation between iterations and between partitions.
+func DiscoverFaultsCtx(ctx context.Context, spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options, plan FaultPlan) (*DiscoverResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -209,7 +220,7 @@ func DiscoverFaults(spec Spec, tumor, normal *bitmat.Matrix, opt cover.Options, 
 	rowWords := w.words(tumor.Samples())
 	gpn := spec.GPUsPerNode
 
-	hg, err := runHostGreedy(tumor, normal, opt)
+	hg, err := runHostGreedy(ctx, tumor, normal, opt)
 	if err != nil {
 		return nil, err
 	}

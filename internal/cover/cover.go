@@ -557,6 +557,15 @@ func (c *Counts) add(o Counts) {
 // all. Exported for benchmarks and the simulator's per-iteration
 // accounting.
 func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (reduce.Combo, Counts, error) {
+	return FindBestCtx(context.Background(), tumor, normal, active, opt)
+}
+
+// FindBestCtx is FindBest under a caller-supplied context. Workers observe
+// cancellation between partitions, so a cancelled pass returns within one
+// partition of work with the partial counts and the context's error —
+// the variant iteration drivers (internal/cluster) must call so a cancelled
+// campaign stops mid-pass instead of finishing the leg.
+func FindBestCtx(ctx context.Context, tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (reduce.Combo, Counts, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return reduce.None, Counts{}, err
@@ -568,7 +577,7 @@ func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (re
 	if active == nil {
 		active = bitmat.AllOnes(tumor.Samples())
 	}
-	return findBest(context.Background(), tumor, active, normal, opt,
+	return findBest(ctx, tumor, active, normal, opt,
 		float64(tumor.Samples()+normal.Samples()))
 }
 
@@ -582,6 +591,14 @@ func FindBest(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options) (re
 // range prunes less than a full FindBest over the same domain — but
 // returns the identical winner.
 func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, lo, hi uint64) (reduce.Combo, Counts, error) {
+	return FindBestRangeCtx(context.Background(), tumor, normal, active, opt, lo, hi)
+}
+
+// FindBestRangeCtx is FindBestRange under a caller-supplied context. The
+// kernel checks the context at its partition-internal stripe boundaries, so
+// a cancelled rank abandons the range within one stripe and returns
+// ctx.Err() alongside the partial counts.
+func FindBestRangeCtx(ctx context.Context, tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, lo, hi uint64) (reduce.Combo, Counts, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return reduce.None, Counts{}, err
@@ -611,8 +628,8 @@ func FindBestRange(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options
 		env.shared = reduce.NewSharedBest()
 	}
 	s := newKernelScratch(tumor.Words(), normal.Words())
-	best, n := runKernel(context.Background(), env, opt, sched.Partition{Lo: lo, Hi: hi}, s)
-	return best, n, nil
+	best, n := runKernel(ctx, env, opt, sched.Partition{Lo: lo, Hi: hi}, s)
+	return best, n, ctx.Err()
 }
 
 // findBest partitions the λ-domain, runs the scheme kernel across a worker

@@ -1,9 +1,11 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitmat"
@@ -68,6 +70,13 @@ type Options5 struct {
 // threads partitioned equi-area (each thread's work is G−1−l, the same
 // discrete-level structure as 3x1 one dimension up).
 func Run5(tumor, normal *bitmat.Matrix, opt Options5) (*Result5, error) {
+	return Run5Ctx(context.Background(), tumor, normal, opt)
+}
+
+// Run5Ctx is Run5 under a context: cancellation is observed between
+// enumeration passes and between partitions within a pass, so a cancelled
+// 5-hit campaign stops within one partition of work.
+func Run5Ctx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options5) (*Result5, error) {
 	if tumor.Genes() != normal.Genes() {
 		return nil, fmt.Errorf("cover: tumor has %d genes, normal has %d",
 			tumor.Genes(), normal.Genes())
@@ -96,11 +105,14 @@ func Run5(tumor, normal *bitmat.Matrix, opt Options5) (*Result5, error) {
 	active := bitmat.AllOnes(tumor.Samples())
 	buf := make([]uint64, tumor.Words())
 	for iter := 0; opt.MaxIterations == 0 || iter < opt.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		remaining := active.PopCount()
 		if remaining == 0 {
 			break
 		}
-		best, n, err := findBest5(tumor, normal, active, opt)
+		best, n, err := findBest5(ctx, tumor, normal, active, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +165,7 @@ func FindBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (
 	if active == nil {
 		active = bitmat.AllOnes(tumor.Samples())
 	}
-	return findBest5(tumor, normal, active, opt)
+	return findBest5(context.Background(), tumor, normal, active, opt)
 }
 
 // quadCurve builds the 5-hit workload curve: C(g, 4) threads at levels
@@ -163,11 +175,21 @@ func quadCurve(g uint64) sched.Curve {
 	return sched.NewQuad4x1(g)
 }
 
-// findBest5 partitions the quad domain across workers and reduces.
-func findBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, uint64, error) {
+// findBest5 partitions the quad domain across workers and reduces. Like
+// findBest, the domain is oversubscribed 4× and workers claim partitions
+// through an atomic counter, checking the context before each claim —
+// cancellation latency is one partition. Each worker owns one pair of fold
+// buffers for its whole lifetime, so a pass allocates O(workers) scratch
+// and the kernel itself allocates nothing (the allocfree analyzer pins
+// that).
+func findBest5(ctx context.Context, tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, uint64, error) {
 	g := uint64(tumor.Genes())
 	curve := quadCurve(g)
-	parts, err := sched.EquiArea(curve, opt.Workers)
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	parts, err := sched.EquiArea(curve, workers*4)
 	if err != nil {
 		return none5, 0, err
 	}
@@ -176,18 +198,34 @@ func findBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (
 	nn := normal.Samples()
 
 	bests := make([]Combo5, len(parts))
-	counts := make([]uint64, len(parts))
-	var wg sync.WaitGroup
-	for w, part := range parts {
+	for w := range bests {
 		bests[w] = none5
-		if part.Size() == 0 {
-			continue
-		}
+	}
+	counts := make([]uint64, len(parts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int, part sched.Partition) {
+		go func() {
 			defer wg.Done()
-			bests[w], counts[w] = kernel4x1five(tumor, normal, active, opt.Alpha, denom, nn, part)
-		}(w, part)
+			s := scratch5{
+				tbuf: make([]uint64, tumor.Words()),
+				nbuf: make([]uint64, normal.Words()),
+			}
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				if parts[i].Size() == 0 {
+					continue
+				}
+				bests[i], counts[i] = kernel4x1five(tumor, normal, active, opt.Alpha, denom, nn, parts[i], s)
+			}
+		}()
 	}
 	wg.Wait()
 	best := none5
@@ -198,16 +236,24 @@ func findBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (
 			best = bests[w]
 		}
 	}
-	return best, total, nil
+	return best, total, ctx.Err()
+}
+
+// scratch5 is one worker's fold buffers, allocated once per worker so the
+// kernel stays allocation-free.
+type scratch5 struct {
+	tbuf []uint64
+	nbuf []uint64
 }
 
 // kernel4x1five: thread (i, j, k, l) runs one inner loop over m, with the
-// four fixed rows (and the active mask) pre-folded.
-func kernel4x1five(tm, nm *bitmat.Matrix, active *bitmat.Vec, alpha, denom float64, nn int, part sched.Partition) (Combo5, uint64) {
+// four fixed rows (and the active mask) pre-folded into the caller-owned
+// scratch.
+func kernel4x1five(tm, nm *bitmat.Matrix, active *bitmat.Vec, alpha, denom float64, nn int, part sched.Partition, s scratch5) (Combo5, uint64) {
 	g := tm.Genes()
 	aw := active.Words()
-	tbuf := make([]uint64, tm.Words())
-	nbuf := make([]uint64, nm.Words())
+	tbuf := s.tbuf
+	nbuf := s.nbuf
 	best := none5
 	var evaluated uint64
 
