@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchfull reports examples faults chaos clean
+.PHONY: all build vet lint test race bench benchfull reports examples faults chaos kernel-smoke kernel-bench clean
 
 all: build vet lint test
 
@@ -54,6 +54,17 @@ faults:
 # (see docs/ROBUSTNESS.md).
 chaos:
 	$(GO) test -race -count=1 ./internal/harness ./internal/failpoint ./internal/ckptstore
+
+# Kernelization differential tests (docs/KERNELIZATION.md): kernelized =
+# unkernelized = exhaustive winners, counts, and crash-resume across the
+# engine, the supervised runner, and the distributed driver.
+kernel-smoke:
+	$(GO) test -count=1 -run 'Kernel' ./internal/kernelize ./internal/cover ./internal/harness ./internal/cluster
+
+# Before/after wall-clock of Options.Kernelize on seeded cohorts,
+# recorded in BENCH_7.json (see EXPERIMENTS.md E21).
+kernel-bench:
+	$(GO) run ./cmd/benchreport -exp kernel -benchout BENCH_7.json
 
 clean:
 	$(GO) clean ./...

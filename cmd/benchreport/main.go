@@ -65,6 +65,7 @@ func experiments() []experiment {
 		{"hardware", "V100 vs A100-class device projection", expHardware},
 		{"hitcount", "2/3/4-hit comparison on a 4-hit cohort (Sec. I motivation)", expHitCount},
 		{"bench", "bound-and-prune before/after baselines (writes -benchout JSON)", expBench},
+		{"kernel", "kernelization before/after baselines (writes -benchout JSON)", expKernelBench},
 	}
 }
 

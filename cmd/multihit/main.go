@@ -46,6 +46,7 @@ func main() {
 	scheduler := flag.String("scheduler", "EA", "workload scheduler: EA or ED")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 	splice := flag.Bool("splice", false, "enable BitSplicing of covered samples")
+	kernelize := flag.Bool("kernelize", false, "reduce the instance (dominated genes, duplicate sample columns) before enumeration; see docs/KERNELIZATION.md")
 	maxIter := flag.Int("max-iter", 0, "cap on discovered combinations (0 = run to completion)")
 	seed := flag.Int64("seed", 42, "cohort generation seed")
 	verbose := flag.Bool("v", false, "print per-iteration details")
@@ -133,6 +134,9 @@ func main() {
 		if *ckptDir != "" || *resume || *deadline > 0 {
 			fatal(fmt.Errorf("the supervised runner does not support the 5-hit extension path"))
 		}
+		if *kernelize {
+			fatal(fmt.Errorf("-kernelize supports h 2-4; the 5-hit extension path scans unreduced"))
+		}
 		run5(cohort, *maxIter)
 		return
 	}
@@ -141,6 +145,7 @@ func main() {
 		Hits:          *hits,
 		Workers:       *workers,
 		BitSplice:     *splice,
+		Kernelize:     *kernelize,
 		MaxIterations: *maxIter,
 	}
 	switch *scheme {

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cover"
 	"repro/internal/dataset"
+	"repro/internal/kernelize"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -41,6 +43,9 @@ func main() {
 	faultStragglers := flag.Float64("fault-stragglers", 0.02, "fraction of GPUs injected as stragglers")
 	faultSlowdown := flag.Float64("fault-straggler-slowdown", 2.0, "busy-time multiplier for injected stragglers")
 	checkpointEvery := flag.Int("checkpoint-every", 3, "checkpoint cadence in iterations (0 = none)")
+	kernel := flag.Bool("kernelize", false, "price the kernelized enumeration: measure the dominated-gene shrink on a seeded reduced-scale cohort and scale it to the workload's gene axis (docs/KERNELIZATION.md)")
+	kernelSample := flag.Int("kernelize-sample", 400, "reduced-scale gene universe for the -kernelize shrink measurement")
+	kernelSeed := flag.Int64("kernelize-seed", 42, "cohort seed for the -kernelize shrink measurement")
 	flag.Parse()
 
 	var plan *cluster.FaultPlan
@@ -90,6 +95,18 @@ func main() {
 	}
 	if *iterations > 0 {
 		w.Iterations = *iterations
+	}
+	if *kernel {
+		frac, err := kernelShrink(*cancer, *kernelSample, *kernelSeed)
+		if err != nil {
+			fatal(err)
+		}
+		w.KernelGenes = int(math.Round(float64(w.Genes) * frac))
+		if w.KernelGenes < 4 {
+			w.KernelGenes = 4
+		}
+		fmt.Printf("kernelize: measured gene shrink %.3f on a %d-gene seeded cohort; pricing G=%d -> %d\n",
+			frac, *kernelSample, w.Genes, w.KernelGenes)
 	}
 
 	nodes, err := parseNodes(*nodesFlag)
@@ -179,6 +196,28 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// kernelShrink measures the surviving-gene fraction of the dominance
+// kernel on a seeded reduced-scale cohort of the given cancer. The paper
+// matrices are not shipped, so the performance model extrapolates the
+// measured fraction to the workload's full gene axis — the same
+// reduced-scale stand-in every differential test uses.
+func kernelShrink(cancer string, genes int, seed int64) (float64, error) {
+	spec, err := dataset.ByCode(cancer)
+	if err != nil {
+		return 0, err
+	}
+	spec = spec.Scaled(genes)
+	cohort, err := dataset.Generate(spec, seed)
+	if err != nil {
+		return 0, err
+	}
+	kern, err := kernelize.ReduceGenes(cohort.Tumor, cohort.Normal, spec.Hits)
+	if err != nil {
+		return 0, err
+	}
+	return float64(kern.Tumor.Genes()) / float64(cohort.Tumor.Genes()), nil
 }
 
 func parseNodes(s string) ([]int, error) {

@@ -206,6 +206,11 @@ func isEntryPoint(path string, fn *types.Func) bool {
 	switch analysis.PathTail(path) {
 	case "cover":
 		return strings.HasPrefix(fn.Name(), "kernel")
+	case "kernelize":
+		// kernelSubset is the dominance pass's inner word sweep — it runs
+		// O(G²) times per reduction and must stay allocation-free like the
+		// scan kernels it feeds.
+		return strings.HasPrefix(fn.Name(), "kernel")
 	case "bitmat":
 		for _, prefix := range []string{"PopAnd", "AndWords", "AndPop", "AndInto", "ComboPop", "ComboVec", "RowPopCount"} {
 			if strings.HasPrefix(fn.Name(), prefix) {

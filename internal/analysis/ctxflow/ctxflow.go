@@ -71,9 +71,10 @@ var Analyzer = &analysis.Analyzer{
 
 // reportScope lists the package tails whose loops are checked.
 var reportScope = map[string]bool{
-	"cover":   true,
-	"cluster": true,
-	"harness": true,
+	"cover":     true,
+	"cluster":   true,
+	"harness":   true,
+	"kernelize": true,
 }
 
 // longRunningSeeds are the cover functions seeded as LongRunning by name

@@ -108,6 +108,13 @@ type Workload struct {
 	// 0 (the default) prices the exhaustive upper bound. Measure a real
 	// run's ratio with DiscoverResult.PruningRatio.
 	PruneRatio float64
+	// KernelGenes, when positive, is the gene count left after the
+	// kernelization pass (docs/KERNELIZATION.md): the workload curve and
+	// span cap are built over this reduced axis, pricing the enumeration
+	// the kernelized engine actually runs. 0 means no kernelization —
+	// price over Genes. Measure a real instance's shrink with
+	// kernelize.Reduce, or estimate with simscale -kernelize.
+	KernelGenes int
 }
 
 // BRCA4Hit returns the paper's principal scaling workload: 4-hit discovery
@@ -148,6 +155,10 @@ func (w Workload) Validate() error {
 		return fmt.Errorf("cluster: SpliceShrink must be in [0, 1)")
 	case w.PruneRatio < 0 || w.PruneRatio >= 1:
 		return fmt.Errorf("cluster: PruneRatio must be in [0, 1)")
+	case w.KernelGenes < 0 || w.KernelGenes > w.Genes:
+		return fmt.Errorf("cluster: KernelGenes must be in [0, Genes], got %d", w.KernelGenes)
+	case w.KernelGenes > 0 && w.KernelGenes < 4:
+		return fmt.Errorf("cluster: KernelGenes must be ≥ 4, got %d", w.KernelGenes)
 	}
 	switch w.Scheme {
 	case cover.Scheme2x2, cover.Scheme3x1, cover.Scheme2x1, cover.SchemePair,
@@ -157,9 +168,18 @@ func (w Workload) Validate() error {
 	return fmt.Errorf("cluster: unsupported scheme %s", w.Scheme)
 }
 
+// genesEff is the gene count the enumeration actually runs over: the
+// kernelized axis when KernelGenes is set, G otherwise.
+func (w Workload) genesEff() int {
+	if w.KernelGenes > 0 {
+		return w.KernelGenes
+	}
+	return w.Genes
+}
+
 // curve builds the workload curve for the scheme.
 func (w Workload) curve() (sched.Curve, error) {
-	g := uint64(w.Genes)
+	g := uint64(w.genesEff())
 	switch w.Scheme {
 	case cover.SchemePair:
 		return sched.NewFlat(combinat.PairCount(g)), nil
@@ -223,9 +243,9 @@ func (w Workload) irregularity() float64 {
 func (w Workload) spanCap() float64 {
 	switch w.Scheme {
 	case cover.Scheme2x1, cover.Scheme3x1, cover.Scheme1x3:
-		return float64(w.Genes)
+		return float64(w.genesEff())
 	case cover.Scheme2x2:
-		g := uint64(w.Genes)
+		g := uint64(w.genesEff())
 		return float64(combinat.Tri(g - 2))
 	}
 	return 1

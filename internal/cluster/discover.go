@@ -6,8 +6,10 @@ import (
 	"sync"
 
 	"repro/internal/bitmat"
+	"repro/internal/combinat"
 	"repro/internal/cover"
 	"repro/internal/gpusim"
+	"repro/internal/kernelize"
 	"repro/internal/mpisim"
 	"repro/internal/reduce"
 	"repro/internal/sched"
@@ -108,6 +110,36 @@ func DiscoverCtx(ctx context.Context, spec Spec, tumor, normal *bitmat.Matrix, o
 		return nil, err
 	}
 
+	// Under Kernelize the ranks scan a gene-axis reduction (dominated-gene
+	// elimination only — the sample axis is untouched, so the active masks
+	// and exclusion vectors keep indexing original columns and the scores
+	// stay exact without weights). Every rank derives the same kernel from
+	// the same matrices; winners are remapped to original gene ids before
+	// the exclusion, and the dropped genes' combinations are credited to
+	// Pruned so Evaluated+Pruned still tallies C(G, h) per pass.
+	scanT, scanN := tumor, normal
+	var kern *kernelize.Kernel
+	var staticDrop uint64
+	if opt.Kernelize {
+		var kerr error
+		kern, kerr = kernelize.ReduceGenes(tumor, normal, opt.Hits)
+		if kerr != nil {
+			return nil, kerr
+		}
+		scanT, scanN = kern.Tumor, kern.Normal
+		full, ok := combinat.Binomial(uint64(tumor.Genes()), uint64(opt.Hits))
+		if !ok {
+			return nil, fmt.Errorf("cluster: domain C(%d, %d) overflows uint64",
+				tumor.Genes(), opt.Hits)
+		}
+		kd, ok := combinat.Binomial(uint64(scanT.Genes()), uint64(opt.Hits))
+		if !ok {
+			return nil, fmt.Errorf("cluster: kernel domain C(%d, %d) overflows uint64",
+				scanT.Genes(), opt.Hits)
+		}
+		staticDrop = full - kd
+	}
+
 	w := Workload{
 		Genes:         tumor.Genes(),
 		TumorSamples:  tumor.Samples(),
@@ -115,6 +147,9 @@ func DiscoverCtx(ctx context.Context, spec Spec, tumor, normal *bitmat.Matrix, o
 		Scheme:        opt.Scheme,
 		Scheduler:     opt.Scheduler,
 		Iterations:    1,
+	}
+	if kern != nil {
+		w.KernelGenes = scanT.Genes()
 	}
 	if w.Scheme == cover.SchemeAuto {
 		switch opt.Hits {
@@ -166,7 +201,7 @@ func DiscoverCtx(ctx context.Context, spec Spec, tumor, normal *bitmat.Matrix, o
 			for d := 0; d < spec.GPUsPerNode; d++ {
 				g := r.ID()*spec.GPUsPerNode + d
 				part := perNode[r.ID()][d]
-				best, n, err := cover.FindBestRangeCtx(ctx, tumor, normal, active, opt, part.Lo, part.Hi)
+				best, n, err := cover.FindBestRangeCtx(ctx, scanT, scanN, active, opt, part.Lo, part.Hi)
 				if err != nil {
 					return err
 				}
@@ -196,6 +231,8 @@ func DiscoverCtx(ctx context.Context, spec Spec, tumor, normal *bitmat.Matrix, o
 			// instead of the old 8-byte evaluated sum.
 			evalSum := r.Reduce(counts, 2*8, sumCounts)
 			total := r.Bcast(evalSum, 2*8).(cover.Counts)
+			// The kernel's dropped genes are pruned work on every pass.
+			total.Pruned += staticDrop
 			if r.ID() == 0 {
 				mu.Lock()
 				grand.Evaluated += total.Evaluated
@@ -205,6 +242,12 @@ func DiscoverCtx(ctx context.Context, spec Spec, tumor, normal *bitmat.Matrix, o
 
 			if winner == reduce.None {
 				break
+			}
+			if kern != nil {
+				// Remap to original gene ids before the exclusion — every
+				// rank applies the same deterministic map, so the masks
+				// stay identical across the world.
+				winner = kern.RemapCombo(winner)
 			}
 			// Every rank applies the identical exclusion.
 			tumor.ComboVec(buf, winner.GeneIDs()...)

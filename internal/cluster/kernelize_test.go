@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/dataset"
+)
+
+// TestKernelizedDiscoverMatchesCoverRun: the distributed pipeline over
+// the gene-axis kernel finds the identical greedy cover as the plain
+// single-machine engine — winners remapped to original gene ids, and the
+// kernel's dropped combinations credited to Pruned so each step still
+// accounts the full λ-domain.
+func TestKernelizedDiscoverMatchesCoverRun(t *testing.T) {
+	spec := dataset.Spec{
+		Code: "TST", Name: "test", Genes: 24, TumorSamples: 80, NormalSamples: 70,
+		Hits: 3, PlantedCombos: 3, DriverMutProb: 0.95,
+		TumorBackground: 0.02, NormalBackground: 0.005,
+	}
+	c, err := dataset.Generate(spec, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hits := range []int{2, 3, 4} {
+		plain := cover.Options{Hits: hits, Workers: 2}
+		want, err := cover.Run(c.Tumor, c.Normal, plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kopt := plain
+		kopt.Kernelize = true
+		for _, nodes := range []int{1, 3} {
+			got, err := Discover(Summit(nodes), c.Tumor, c.Normal, kopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Steps) != len(want.Steps) {
+				t.Fatalf("hits=%d nodes=%d: %d steps, want %d",
+					hits, nodes, len(got.Steps), len(want.Steps))
+			}
+			for i := range want.Steps {
+				if got.Steps[i].Combo != want.Steps[i].Combo {
+					t.Fatalf("hits=%d nodes=%d step %d: %+v != %+v",
+						hits, nodes, i, got.Steps[i].Combo, want.Steps[i].Combo)
+				}
+				if got.Steps[i].NewlyCovered != want.Steps[i].NewlyCovered {
+					t.Fatalf("hits=%d nodes=%d step %d: cover counts differ", hits, nodes, i)
+				}
+				gotScan := got.Steps[i].Evaluated + got.Steps[i].Pruned
+				wantScan := want.Steps[i].Evaluated + want.Steps[i].Pruned
+				if gotScan != wantScan {
+					t.Fatalf("hits=%d nodes=%d step %d: scanned %d, want %d",
+						hits, nodes, i, gotScan, wantScan)
+				}
+			}
+			if got.Covered != want.Covered || got.Uncoverable != want.Uncoverable {
+				t.Fatalf("hits=%d nodes=%d: totals differ", hits, nodes)
+			}
+		}
+	}
+}
+
+// TestWorkloadKernelGenes pins the KernelGenes pricing axis: the curve
+// shrinks with the kernel, validation bounds the field, and 0 keeps the
+// exhaustive axis.
+func TestWorkloadKernelGenes(t *testing.T) {
+	w := BRCA4Hit(cover.Scheme3x1)
+	full, err := w.curve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.KernelGenes = w.Genes / 2
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := w.curve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.TotalWork() >= full.TotalWork() {
+		t.Fatalf("kernelized curve work %d not below exhaustive %d",
+			reduced.TotalWork(), full.TotalWork())
+	}
+	if w.spanCap() >= float64(w.Genes) {
+		t.Fatalf("span cap %.0f not reduced below G=%d", w.spanCap(), w.Genes)
+	}
+
+	w.KernelGenes = w.Genes + 1
+	if err := w.Validate(); err == nil {
+		t.Fatal("KernelGenes > Genes accepted")
+	}
+	w.KernelGenes = 2
+	if err := w.Validate(); err == nil {
+		t.Fatal("KernelGenes below the 4-hit floor accepted")
+	}
+	w.KernelGenes = 0
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

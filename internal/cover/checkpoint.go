@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"repro/internal/bitmat"
+	"repro/internal/kernelize"
 	"repro/internal/reduce"
 )
 
@@ -59,6 +60,13 @@ type Checkpoint struct {
 	// checkpoints (same version) simply carry zero Pruned.
 	Evaluated uint64 `json:"evaluated"`
 	Pruned    uint64 `json:"pruned,omitempty"`
+	// Kernelize records that the run scanned a kernelized instance
+	// (Options.Kernelize); KernelFingerprint identifies the exact
+	// reduction so a resumed leg can verify it rebuilt the same kernel
+	// before continuing bit-identically. Both are zero for unkernelized
+	// runs (and absent from their JSON).
+	Kernelize         bool   `json:"kernelize,omitempty"`
+	KernelFingerprint uint64 `json:"kernel_fingerprint,omitempty"`
 }
 
 // checkpointVersion is the current wire format.
@@ -75,6 +83,8 @@ func (r *Result) ToCheckpoint(tumor, normal *bitmat.Matrix) *Checkpoint {
 		NormalFingerprint: normal.Fingerprint(),
 		Evaluated:         r.Evaluated,
 		Pruned:            r.Pruned,
+		Kernelize:         r.Options.Kernelize,
+		KernelFingerprint: r.KernelFingerprint,
 	}
 	for _, s := range r.Steps {
 		cp.Combos = append(cp.Combos, s.Combo.GeneIDs())
@@ -126,6 +136,43 @@ func Resume(tumor, normal *bitmat.Matrix, opt Options, cp *Checkpoint) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	if opt.Kernelize {
+		// Rebuild the reduction deterministically from the same inputs and
+		// verify it matches the one the interrupted run scanned under —
+		// only then is the continued leg guaranteed bit-identical.
+		kern, err := kernelize.Reduce(tumor, normal, opt.Hits)
+		if err != nil {
+			return nil, err
+		}
+		fp := kern.Fingerprint()
+		if cp.KernelFingerprint != 0 && fp != cp.KernelFingerprint {
+			return nil, fmt.Errorf("cover: rebuilt kernel fingerprint %#x, checkpoint has %#x: %w",
+				fp, cp.KernelFingerprint, ErrFingerprintMismatch)
+		}
+		res.KernelFingerprint = fp
+		kactive := kern.MapActive(active)
+		// Seed the incumbent-drop floor from the last replayed winner,
+		// mapped into static-kernel ids — exactly the prev a fresh run
+		// would hold entering this iteration.
+		prev := reduce.None
+		if len(res.Steps) > 0 {
+			prev = res.Steps[len(res.Steps)-1].Combo
+			for i, g := range prev.Genes {
+				if g < 0 {
+					continue
+				}
+				ki, err := kern.KernelIndex(int(g))
+				if err != nil {
+					return nil, fmt.Errorf("cover: replayed combo is outside the kernel: %w", err)
+				}
+				prev.Genes[i] = int32(ki)
+			}
+		}
+		if err := greedyKernelized(context.Background(), tumor, normal, kern, kactive, prev, opt, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 	// Continue the greedy loop from the replayed state.
 	if err := continueGreedy(tumor, normal, opt, active, res); err != nil {
 		return nil, err
@@ -155,7 +202,7 @@ func continueGreedy(tumor, normal *bitmat.Matrix, opt Options, active *bitmat.Ve
 		if remaining == 0 {
 			return nil
 		}
-		best, cnt, err := findBest(context.Background(), tumor, active, normal, opt, denom)
+		best, cnt, err := findBest(context.Background(), tumor, active, normal, nil, nil, opt, denom)
 		if err != nil {
 			return err
 		}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/bitmat"
 	"repro/internal/combinat"
 	"repro/internal/failpoint"
+	"repro/internal/kernelize"
 	"repro/internal/reduce"
 	"repro/internal/sched"
 )
@@ -162,6 +163,15 @@ type Options struct {
 	// BitSplice physically splices covered tumor samples out of the matrix
 	// after each iteration instead of masking them.
 	BitSplice bool
+	// Kernelize shrinks the instance before enumeration
+	// (internal/kernelize, docs/KERNELIZATION.md): duplicate sample
+	// columns merge into weighted columns, dominated genes leave G, and
+	// between iterations genes whose best-case solo score cannot reach
+	// the previous winner's re-scored F are dropped for that pass. Every
+	// reduction preserves the tie-broken winner bit-identically; dropped
+	// combinations count as Pruned, so Scanned stays C(G, h) per pass.
+	// Mutually exclusive with BitSplice (the kernel owns the sample axis).
+	Kernelize bool
 	// NoPrune disables the bound-and-prune layer (docs/PRUNING.md): the
 	// process-wide shared incumbent, the kernels' prefix upper-bound
 	// checks, and the per-iteration gene compaction of BitSplice runs.
@@ -230,6 +240,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.CheckpointEvery < 0 {
 		return o, fmt.Errorf("cover: CheckpointEvery must be non-negative, got %d", o.CheckpointEvery)
 	}
+	if o.Kernelize && o.BitSplice {
+		return o, fmt.Errorf("cover: Kernelize and BitSplice are mutually exclusive")
+	}
 	return o, nil
 }
 
@@ -273,6 +286,10 @@ type Result struct {
 	Pruned uint64
 	// Elapsed is the total wall-clock time.
 	Elapsed time.Duration
+	// KernelFingerprint identifies the reduction a Kernelize run scanned
+	// under (kernelize.Kernel.Fingerprint); zero when Kernelize is off.
+	// Checkpoints carry it so resume can verify it rebuilt the same kernel.
+	KernelFingerprint uint64
 	// Options echoes the resolved configuration.
 	Options Options
 }
@@ -322,6 +339,18 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 	res := &Result{Options: opt}
 	start := time.Now()
 
+	if opt.Kernelize {
+		kern, kerr := kernelize.Reduce(tumor, normal, opt.Hits)
+		if kerr != nil {
+			return nil, kerr
+		}
+		res.KernelFingerprint = kern.Fingerprint()
+		kactive := bitmat.AllOnes(kern.Tumor.Samples())
+		err = greedyKernelized(ctx, tumor, normal, kern, kactive, reduce.None, opt, res)
+		res.Elapsed = time.Since(start)
+		return res, err
+	}
+
 	// Normal-side counts never change across iterations.
 	cur := tumor
 	active := bitmat.AllOnes(nt) // meaningful only when not splicing
@@ -363,9 +392,12 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 				// Every h-combination would include an all-zero tumor row,
 				// so TP = 0 across the board: the remaining samples are
 				// uncoverable and the whole pass is pruned.
-				if d, ok := domainSize(cur.Genes(), opt.Hits); ok {
-					res.Pruned += d
+				d, derr := domainSizeChecked(cur.Genes(), opt.Hits)
+				if derr != nil {
+					res.Elapsed = time.Since(start)
+					return res, derr
 				}
+				res.Pruned += d
 				res.Uncoverable = remaining
 				break
 			}
@@ -375,12 +407,21 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 			}
 		}
 
-		best, cnt, err := findBest(ctx, searchT, active, searchN, opt, denom)
+		best, cnt, err := findBest(ctx, searchT, active, searchN, nil, nil, opt, denom)
 		if err == nil && keep != nil {
-			if full, ok := domainSize(cur.Genes(), opt.Hits); ok {
-				if sub, ok2 := domainSize(searchT.Genes(), opt.Hits); ok2 {
+			full, ferr := domainSizeChecked(cur.Genes(), opt.Hits)
+			if ferr == nil {
+				var sub uint64
+				sub, ferr = domainSizeChecked(searchT.Genes(), opt.Hits)
+				if ferr == nil {
 					cnt.Pruned += full - sub
 				}
+			}
+			if ferr != nil {
+				res.Evaluated += cnt.Evaluated
+				res.Pruned += cnt.Pruned
+				res.Elapsed = time.Since(start)
+				return res, ferr
 			}
 			if best != reduce.None && best.StrictlyAbove(float64(normal.Samples())/denom) {
 				// The compacted winner's F exceeds score(0, 0), which every
@@ -392,7 +433,7 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 				// on F and beat it lexicographically: rescan the full
 				// domain so the tie-break is exact.
 				var cnt2 Counts
-				best, cnt2, err = findBest(ctx, cur, active, normal, opt, denom)
+				best, cnt2, err = findBest(ctx, cur, active, normal, nil, nil, opt, denom)
 				cnt.Evaluated += cnt2.Evaluated
 				cnt.Pruned += cnt2.Pruned
 			}
@@ -489,24 +530,25 @@ func vecFromWords(n int, words []uint64) *bitmat.Vec {
 // carry at least one active sample, or nil when no gene can be dropped.
 // The keep list stays ascending, so remapping compacted gene ids back
 // through it preserves both strict ordering inside a combination and the
-// lexicographic order between combinations.
+// lexicographic order between combinations. The common no-drop iteration
+// allocates nothing: the keep slice materializes only after the first
+// droppable row is seen.
 func compactKeep(tumor *bitmat.Matrix) []int {
 	g := tumor.Genes()
-	keep := make([]int, 0, g)
+	var keep []int
 	for i := 0; i < g; i++ {
-		nonzero := false
-		for _, w := range tumor.Row(i) {
-			if w != 0 {
-				nonzero = true
-				break
+		if tumor.RowPopCount(i) == 0 {
+			if keep == nil {
+				keep = make([]int, 0, g-1)
+				for j := 0; j < i; j++ {
+					keep = append(keep, j)
+				}
 			}
+			continue
 		}
-		if nonzero {
+		if keep != nil {
 			keep = append(keep, i)
 		}
-	}
-	if len(keep) == g {
-		return nil
 	}
 	return keep
 }
@@ -526,6 +568,17 @@ func remapCombo(c reduce.Combo, keep []int) reduce.Combo {
 // pass — with an overflow flag.
 func domainSize(genes, hits int) (uint64, bool) {
 	return combinat.Binomial(uint64(genes), uint64(hits))
+}
+
+// domainSizeChecked is domainSize for callers with an error path: a wrapped
+// domain must never be scanned or accounted, so overflow is an error, not a
+// silently dropped tally.
+func domainSizeChecked(genes, hits int) (uint64, error) {
+	d, ok := domainSize(genes, hits)
+	if !ok {
+		return 0, fmt.Errorf("cover: domain C(%d, %d) overflows uint64", genes, hits)
+	}
+	return d, nil
 }
 
 // Counts tallies the work of an enumeration scan. The total Scanned is
@@ -577,7 +630,7 @@ func FindBestCtx(ctx context.Context, tumor, normal *bitmat.Matrix, active *bitm
 	if active == nil {
 		active = bitmat.AllOnes(tumor.Samples())
 	}
-	return findBest(ctx, tumor, active, normal, opt,
+	return findBest(ctx, tumor, active, normal, nil, nil, opt,
 		float64(tumor.Samples()+normal.Samples()))
 }
 
@@ -616,14 +669,8 @@ func FindBestRangeCtx(ctx context.Context, tumor, normal *bitmat.Matrix, active 
 	if lo == hi {
 		return reduce.None, Counts{}, nil
 	}
-	env := &kernelEnv{
-		tumor:  tumor,
-		normal: normal,
-		active: active,
-		alpha:  opt.Alpha,
-		denom:  float64(tumor.Samples() + normal.Samples()),
-		nn:     normal.Samples(),
-	}
+	env := newKernelEnv(tumor, normal, active, nil, nil, opt.Alpha,
+		float64(tumor.Samples()+normal.Samples()))
 	if !opt.NoPrune && opt.Scheme.prunable() {
 		env.shared = reduce.NewSharedBest()
 	}
@@ -650,7 +697,7 @@ func FindBestRangeCtx(ctx context.Context, tumor, normal *bitmat.Matrix, active 
 // winner therefore never skips it — only the Evaluated/Pruned split is
 // timing-dependent. Each worker also owns one kernelScratch for its whole
 // lifetime, so a pass allocates O(workers) buffers, not O(partitions).
-func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, opt Options, denom float64) (reduce.Combo, Counts, error) {
+func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, normal *bitmat.Matrix, tw, nw *bitmat.Weights, opt Options, denom float64) (reduce.Combo, Counts, error) {
 	if err := failpoint.Check("cover/scan"); err != nil {
 		return reduce.None, Counts{}, err
 	}
@@ -676,14 +723,7 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 		return reduce.None, Counts{}, err
 	}
 
-	env := &kernelEnv{
-		tumor:  tumor,
-		normal: normal,
-		active: active,
-		alpha:  opt.Alpha,
-		denom:  denom,
-		nn:     normal.Samples(),
-	}
+	env := newKernelEnv(tumor, normal, active, tw, nw, opt.Alpha, denom)
 	if !opt.NoPrune && opt.Scheme.prunable() {
 		env.shared = reduce.NewSharedBest()
 	}
@@ -731,21 +771,117 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 
 // kernelEnv bundles the per-iteration read-only state shared by workers,
 // plus the one mutable rendezvous point: the shared incumbent (nil when
-// pruning is off or the scheme has no inner loop to skip).
+// pruning is off or the scheme has no inner loop to skip). When the
+// instance is kernelized, tw/nw carry the merged sample columns'
+// multiplicities and every popcount the kernels take routes through the
+// weighted helpers below; with nil weights the helpers compile down to
+// the plain word sweeps, so the unkernelized hot path is unchanged.
 type kernelEnv struct {
 	tumor  *bitmat.Matrix
 	normal *bitmat.Matrix
 	active *bitmat.Vec
+	tw     *bitmat.Weights
+	nw     *bitmat.Weights
 	alpha  float64
 	denom  float64
 	nn     int
 	shared *reduce.SharedBest
 }
 
+// newKernelEnv builds the worker environment. With normal-side weights the
+// TN base is the weighted column total — the ORIGINAL normal sample count —
+// so F values match the unkernelized run bit for bit.
+func newKernelEnv(tumor, normal *bitmat.Matrix, active *bitmat.Vec, tw, nw *bitmat.Weights, alpha, denom float64) *kernelEnv {
+	nn := normal.Samples()
+	if nw != nil {
+		nn = nw.Total()
+	}
+	return &kernelEnv{
+		tumor:  tumor,
+		normal: normal,
+		active: active,
+		tw:     tw,
+		nw:     nw,
+		alpha:  alpha,
+		denom:  denom,
+		nn:     nn,
+	}
+}
+
 // score computes F from a TP and a normal-side AND count.
 func (e *kernelEnv) score(tp, normalHits int) float64 {
 	tn := e.nn - normalHits
 	return (e.alpha*float64(tp) + float64(tn)) / e.denom
+}
+
+// tpop2..tpop5 return the (weighted) tumor-side popcount of the AND of the
+// given packed rows; npop2..npop4 the normal-side equivalents.
+func (e *kernelEnv) tpop2(a, b []uint64) int {
+	if e.tw == nil {
+		return bitmat.PopAnd2(a, b)
+	}
+	return e.tw.PopAnd2(a, b)
+}
+
+func (e *kernelEnv) tpop3(a, b, c []uint64) int {
+	if e.tw == nil {
+		return bitmat.PopAnd3(a, b, c)
+	}
+	return e.tw.PopAnd3(a, b, c)
+}
+
+func (e *kernelEnv) tpop4(a, b, c, d []uint64) int {
+	if e.tw == nil {
+		return bitmat.PopAnd4(a, b, c, d)
+	}
+	return e.tw.PopAnd4(a, b, c, d)
+}
+
+func (e *kernelEnv) tpop5(a, b, c, d, f []uint64) int {
+	if e.tw == nil {
+		return bitmat.PopAnd5(a, b, c, d, f)
+	}
+	return e.tw.PopAnd5(a, b, c, d, f)
+}
+
+func (e *kernelEnv) npop2(a, b []uint64) int {
+	if e.nw == nil {
+		return bitmat.PopAnd2(a, b)
+	}
+	return e.nw.PopAnd2(a, b)
+}
+
+func (e *kernelEnv) npop3(a, b, c []uint64) int {
+	if e.nw == nil {
+		return bitmat.PopAnd3(a, b, c)
+	}
+	return e.nw.PopAnd3(a, b, c)
+}
+
+func (e *kernelEnv) npop4(a, b, c, d []uint64) int {
+	if e.nw == nil {
+		return bitmat.PopAnd4(a, b, c, d)
+	}
+	return e.nw.PopAnd4(a, b, c, d)
+}
+
+// tfold stores a ∧ b into dst and returns its (weighted) tumor popcount —
+// the weighted counterpart of bitmat.AndWordsPop for hoisted prefixes.
+func (e *kernelEnv) tfold(dst, a, b []uint64) int {
+	if e.tw == nil {
+		return bitmat.AndWordsPop(dst, a, b)
+	}
+	bitmat.AndWords(dst, a, b)
+	return e.tw.PopVec(dst)
+}
+
+// nfold is tfold on the normal side.
+func (e *kernelEnv) nfold(dst, a, b []uint64) int {
+	if e.nw == nil {
+		return bitmat.AndWordsPop(dst, a, b)
+	}
+	bitmat.AndWords(dst, a, b)
+	return e.nw.PopVec(dst)
 }
 
 // offer publishes a thread-best improvement to the shared incumbent so
@@ -769,7 +905,7 @@ func (e *kernelEnv) prune(tpPrefix int) bool {
 // buffer to harvest a popcount from: it pays one extra three-way popcount
 // sweep over the prefix rows.
 func (e *kernelEnv) prune3(a, b, c []uint64) bool {
-	return e.shared != nil && e.shared.ShouldPrune(e.score(bitmat.PopAnd3(a, b, c), 0))
+	return e.shared != nil && e.shared.ShouldPrune(e.score(e.tpop3(a, b, c), 0))
 }
 
 // runKernel dispatches the scheme kernel over one λ-partition, folding

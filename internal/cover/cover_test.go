@@ -509,8 +509,8 @@ func TestRun5MatchesExhaustive(t *testing.T) {
 		if got != want {
 			t.Fatalf("workers=%d: 5-hit parallel %+v != exhaustive %+v", workers, got, want)
 		}
-		if n != 462 { // C(11,5)
-			t.Fatalf("evaluated %d combinations, want C(11,5)=462", n)
+		if n.Scanned() != 462 { // C(11,5)
+			t.Fatalf("scanned %d combinations, want C(11,5)=462", n.Scanned())
 		}
 	}
 }

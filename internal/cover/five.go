@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/combinat"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 )
 
@@ -50,8 +51,12 @@ type Result5 struct {
 	// Covered and Uncoverable partition the tumor samples.
 	Covered     int
 	Uncoverable int
-	// Evaluated counts scored combinations.
+	// Evaluated counts scored combinations; Pruned counts combinations
+	// skipped by bound-and-prune. Per completed pass their sum equals the
+	// λ-domain C(G, 5) — the same Counts.Scanned invariant the h ≤ 4
+	// engine keeps — so crash-invariance properties extend to 5-hit.
 	Evaluated uint64
+	Pruned    uint64
 	// Elapsed is the total wall-clock time.
 	Elapsed time.Duration
 }
@@ -64,6 +69,9 @@ type Options5 struct {
 	Workers int
 	// MaxIterations bounds the combinations reported; 0 means exhaustive.
 	MaxIterations int
+	// NoPrune disables the shared F bound and the prefix upper-bound
+	// checks, for differential testing; the winner never changes either way.
+	NoPrune bool
 }
 
 // Run5 executes the greedy 5-hit cover. The λ-domain is C(G, 4) quadruple
@@ -106,17 +114,22 @@ func Run5Ctx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options5) (*
 	buf := make([]uint64, tumor.Words())
 	for iter := 0; opt.MaxIterations == 0 || iter < opt.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			res.Elapsed = time.Since(start)
+			return res, err
 		}
 		remaining := active.PopCount()
 		if remaining == 0 {
 			break
 		}
 		best, n, err := findBest5(ctx, tumor, normal, active, opt)
+		res.Evaluated += n.Evaluated
+		res.Pruned += n.Pruned
 		if err != nil {
-			return nil, err
+			// Mirror RunCtx: the partial result — completed steps plus the
+			// work counted before the cutoff — comes back with the error.
+			res.Elapsed = time.Since(start)
+			return res, err
 		}
-		res.Evaluated += n
 		if best.Genes[0] < 0 { // the none5 sentinel: no combination found
 			break
 		}
@@ -150,10 +163,11 @@ func Run5Ctx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options5) (*
 }
 
 // FindBest5 runs one enumeration pass and returns the best 5-hit
-// combination and the number scored. Exported for tests and benchmarks.
-func FindBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, uint64, error) {
+// combination and the pass's work counts — Scanned() equals the λ-domain
+// C(G, 5). Exported for tests and benchmarks.
+func FindBest5(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, Counts, error) {
 	if tumor.Genes() != normal.Genes() {
-		return none5, 0, fmt.Errorf("cover: tumor has %d genes, normal has %d",
+		return none5, Counts{}, fmt.Errorf("cover: tumor has %d genes, normal has %d",
 			tumor.Genes(), normal.Genes())
 	}
 	if opt.Alpha == 0 {
@@ -181,8 +195,10 @@ func quadCurve(g uint64) sched.Curve {
 // cancellation latency is one partition. Each worker owns one pair of fold
 // buffers for its whole lifetime, so a pass allocates O(workers) scratch
 // and the kernel itself allocates nothing (the allocfree analyzer pins
-// that).
-func findBest5(ctx context.Context, tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, uint64, error) {
+// that). Unless NoPrune is set the workers share an F-only bound
+// (reduce.SharedBound): a quadruple prefix whose upper bound falls
+// strictly below it skips its whole m loop, which lands in Counts.Pruned.
+func findBest5(ctx context.Context, tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options5) (Combo5, Counts, error) {
 	g := uint64(tumor.Genes())
 	curve := quadCurve(g)
 	workers := opt.Workers
@@ -191,17 +207,21 @@ func findBest5(ctx context.Context, tumor, normal *bitmat.Matrix, active *bitmat
 	}
 	parts, err := sched.EquiArea(curve, workers*4)
 	if err != nil {
-		return none5, 0, err
+		return none5, Counts{}, err
 	}
 
 	denom := float64(tumor.Samples() + normal.Samples())
 	nn := normal.Samples()
+	var shared *reduce.SharedBound
+	if !opt.NoPrune {
+		shared = reduce.NewSharedBound()
+	}
 
 	bests := make([]Combo5, len(parts))
 	for w := range bests {
 		bests[w] = none5
 	}
-	counts := make([]uint64, len(parts))
+	counts := make([]Counts, len(parts))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -223,15 +243,15 @@ func findBest5(ctx context.Context, tumor, normal *bitmat.Matrix, active *bitmat
 				if parts[i].Size() == 0 {
 					continue
 				}
-				bests[i], counts[i] = kernel4x1five(tumor, normal, active, opt.Alpha, denom, nn, parts[i], s)
+				bests[i], counts[i] = kernel4x1five(tumor, normal, active, opt.Alpha, denom, nn, shared, parts[i], s)
 			}
 		}()
 	}
 	wg.Wait()
 	best := none5
-	var total uint64
+	var total Counts
 	for w := range bests {
-		total += counts[w]
+		total.add(counts[w])
 		if better5(bests[w], best) {
 			best = bests[w]
 		}
@@ -248,33 +268,45 @@ type scratch5 struct {
 
 // kernel4x1five: thread (i, j, k, l) runs one inner loop over m, with the
 // four fixed rows (and the active mask) pre-folded into the caller-owned
-// scratch.
-func kernel4x1five(tm, nm *bitmat.Matrix, active *bitmat.Vec, alpha, denom float64, nn int, part sched.Partition, s scratch5) (Combo5, uint64) {
+// scratch. When shared is non-nil the quadruple prefix's upper bound —
+// its tumor popcount with zero normal hits, the same float expression the
+// inner loop scores with, so rounding cannot invert the bound — is
+// checked before the normal-side folds and the m loop; a strictly
+// dominated prefix prunes its g−1−l combinations wholesale.
+func kernel4x1five(tm, nm *bitmat.Matrix, active *bitmat.Vec, alpha, denom float64, nn int, shared *reduce.SharedBound, part sched.Partition, s scratch5) (Combo5, Counts) {
 	g := tm.Genes()
 	aw := active.Words()
 	tbuf := s.tbuf
 	nbuf := s.nbuf
 	best := none5
-	var evaluated uint64
+	var n Counts
 
 	i, j, k, l := combinat.QuadCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		bitmat.AndWords(tbuf, aw, tm.Row(i))
 		bitmat.AndWords(tbuf, tbuf, tm.Row(j))
 		bitmat.AndWords(tbuf, tbuf, tm.Row(k))
-		bitmat.AndWords(tbuf, tbuf, tm.Row(l))
-		bitmat.AndWords(nbuf, nm.Row(i), nm.Row(j))
-		bitmat.AndWords(nbuf, nbuf, nm.Row(k))
-		bitmat.AndWords(nbuf, nbuf, nm.Row(l))
-		for m := l + 1; m < g; m++ {
-			tp := bitmat.PopAnd2(tbuf, tm.Row(m))
-			tn := nn - bitmat.PopAnd2(nbuf, nm.Row(m))
-			f := (alpha*float64(tp) + float64(tn)) / denom
-			c := Combo5{Genes: [5]int{i, j, k, l, m}, F: f}
-			if better5(c, best) {
-				best = c
+		tp4 := bitmat.AndWordsPop(tbuf, tbuf, tm.Row(l))
+		ub := (alpha*float64(tp4) + float64(nn)) / denom
+		if shared != nil && shared.ShouldPrune(ub) {
+			n.Pruned += uint64(g - 1 - l)
+		} else {
+			bitmat.AndWords(nbuf, nm.Row(i), nm.Row(j))
+			bitmat.AndWords(nbuf, nbuf, nm.Row(k))
+			bitmat.AndWords(nbuf, nbuf, nm.Row(l))
+			for m := l + 1; m < g; m++ {
+				tp := bitmat.PopAnd2(tbuf, tm.Row(m))
+				tn := nn - bitmat.PopAnd2(nbuf, nm.Row(m))
+				f := (alpha*float64(tp) + float64(tn)) / denom
+				c := Combo5{Genes: [5]int{i, j, k, l, m}, F: f}
+				if better5(c, best) {
+					best = c
+					if shared != nil {
+						shared.Offer(f)
+					}
+				}
+				n.Evaluated++
 			}
-			evaluated++
 		}
 		i++
 		if i == j {
@@ -287,5 +319,5 @@ func kernel4x1five(tm, nm *bitmat.Matrix, active *bitmat.Vec, alpha, denom float
 			}
 		}
 	}
-	return best, evaluated
+	return best, n
 }

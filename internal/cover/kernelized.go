@@ -1,0 +1,184 @@
+package cover
+
+import (
+	"context"
+	"math/bits"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/kernelize"
+	"repro/internal/reduce"
+)
+
+// This file holds the Kernelize=true greedy loop (docs/KERNELIZATION.md).
+// The static kernel — duplicate-column dedup plus dominated-gene
+// elimination — is built once; each iteration may additionally drop genes
+// whose best-case solo score cannot reach the previous winner's re-scored
+// F (incumbent-aware dropping, strictly stronger than compactKeep: it
+// drops weak rows, not just all-zero ones). Every combination the
+// reductions remove is accounted as Pruned, so each completed iteration
+// still satisfies Evaluated + Pruned = C(G, h) over the ORIGINAL gene
+// count, and winners/steps are recorded in original gene ids — a
+// kernelized run is bit-identical to an unkernelized one everywhere a
+// caller can observe.
+
+// popWords returns the (weighted) popcount of a packed mask; nil weights
+// mean every column counts once.
+func popWords(w *bitmat.Weights, words []uint64) int {
+	if w == nil {
+		n := 0
+		for _, x := range words {
+			n += bits.OnesCount64(x)
+		}
+		return n
+	}
+	return w.PopVec(words)
+}
+
+// rescoreKernelized re-scores a static-kernel-space combination against the
+// current active mask: the exact F the previous winner would get this
+// iteration, used as the incumbent floor for gene dropping. It uses the
+// same float expression as kernelEnv.score, so monotonicity arguments
+// transfer to the rounded values.
+func rescoreKernelized(kern *kernelize.Kernel, kactive *bitmat.Vec, c reduce.Combo, alpha, denom float64, nn int, tbuf, nbuf []uint64) float64 {
+	ids := c.GeneIDs()
+	t, n := kern.Tumor, kern.Normal
+	bitmat.AndWords(tbuf, t.Row(ids[0]), t.Row(ids[1]))
+	bitmat.AndWords(nbuf, n.Row(ids[0]), n.Row(ids[1]))
+	for _, g := range ids[2:] {
+		bitmat.AndWords(tbuf, tbuf, t.Row(g))
+		bitmat.AndWords(nbuf, nbuf, n.Row(g))
+	}
+	bitmat.AndWords(tbuf, tbuf, kactive.Words())
+	tp := popWords(kern.TumorWeights, tbuf)
+	nh := popWords(kern.NormalWeights, nbuf)
+	tn := nn - nh
+	return (alpha*float64(tp) + float64(tn)) / denom
+}
+
+// greedyKernelized is the greedy cover loop over a reduced instance,
+// shared by RunCtx (fresh, prev = reduce.None) and Resume (prev = the
+// last replayed winner in static-kernel ids, kactive = the replayed mask
+// projected through the kernel). res may already hold replayed steps; the
+// loop appends to it and fills Covered/Uncoverable/Evaluated/Pruned, but
+// leaves Elapsed to the caller. Checkpoints bind to the ORIGINAL
+// matrices, so a kernelized run's checkpoint replays on any engine.
+func greedyKernelized(ctx context.Context, tumor, normal *bitmat.Matrix, kern *kernelize.Kernel, kactive *bitmat.Vec, prev reduce.Combo, opt Options, res *Result) error {
+	full, err := domainSizeChecked(kern.Genes, opt.Hits)
+	if err != nil {
+		return err
+	}
+	kernDomain, err := domainSizeChecked(len(kern.Keep), opt.Hits)
+	if err != nil {
+		return err
+	}
+	staticDrop := full - kernDomain
+
+	denom := float64(tumor.Samples() + normal.Samples())
+	nn := normal.Samples()
+	coverBuf := make([]uint64, kern.Tumor.Words())
+	nbuf := make([]uint64, kern.Normal.Words())
+
+	for opt.MaxIterations == 0 || len(res.Steps) < opt.MaxIterations {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		remaining := popWords(kern.TumorWeights, kactive.Words())
+		if remaining == 0 {
+			break
+		}
+		iterStart := time.Now()
+
+		// Incumbent-aware gene dropping: the previous winner re-scored
+		// against the shrunken active set is a valid floor, because prev
+		// itself is in this pass's domain — the true argmax scores at
+		// least floor. A gene whose solo upper bound falls strictly
+		// below the floor cannot appear in any combination tying the
+		// maximum, so dropping it preserves the tie-broken winner
+		// exactly. prev's own genes survive by monotonicity of the
+		// shared score expression, so at least h genes always remain.
+		searchT, searchN := kern.Tumor, kern.Normal
+		var iterKeep []int
+		var iterDrop uint64
+		if !opt.NoPrune && prev != reduce.None {
+			floor := rescoreKernelized(kern, kactive, prev, opt.Alpha, denom, nn, coverBuf, nbuf)
+			iterKeep = kernelize.IncumbentKeep(kern.Tumor, kern.TumorWeights, kactive, opt.Alpha, denom, nn, floor)
+			if iterKeep != nil {
+				if len(iterKeep) < opt.Hits {
+					// Fewer than h genes can still matter — with prev's h
+					// genes always surviving this cannot happen, but guard
+					// the invariant rather than scan a malformed domain.
+					iterKeep = nil
+				} else {
+					sub, err := domainSizeChecked(len(iterKeep), opt.Hits)
+					if err != nil {
+						return err
+					}
+					iterDrop = kernDomain - sub
+					searchT = kern.Tumor.SelectRows(iterKeep)
+					searchN = kern.Normal.SelectRows(iterKeep)
+				}
+			}
+		}
+
+		best, cnt, err := findBest(ctx, searchT, kactive, searchN,
+			kern.TumorWeights, kern.NormalWeights, opt, denom)
+		if err == nil {
+			// Completed pass: reduction-removed combinations count as
+			// pruned, keeping Scanned = C(G, h) over the original genes.
+			cnt.Pruned += staticDrop + iterDrop
+		}
+		res.Evaluated += cnt.Evaluated
+		res.Pruned += cnt.Pruned
+		if err != nil {
+			return err
+		}
+		if best == reduce.None {
+			break
+		}
+		if iterKeep != nil {
+			best = remapCombo(best, iterKeep)
+		}
+		prev = best
+		orig := kern.RemapCombo(best)
+
+		kern.Tumor.ComboVec(coverBuf, best.GeneIDs()...)
+		cov := vecFromWords(kern.Tumor.Samples(), coverBuf)
+		cov.And(kactive)
+		covered := popWords(kern.TumorWeights, cov.Words())
+		if covered == 0 {
+			res.Uncoverable = remaining
+			break
+		}
+		res.Covered += covered
+		kactive.AndNot(cov)
+		activeAfter := popWords(kern.TumorWeights, kactive.Words())
+
+		step := Step{
+			Combo:        orig,
+			NewlyCovered: covered,
+			ActiveAfter:  activeAfter,
+			Evaluated:    cnt.Evaluated,
+			Pruned:       cnt.Pruned,
+			Elapsed:      time.Since(iterStart),
+		}
+		res.Steps = append(res.Steps, step)
+		if opt.Progress != nil {
+			opt.Progress(step)
+		}
+		if opt.CheckpointEvery > 0 && opt.OnCheckpoint != nil &&
+			len(res.Steps)%opt.CheckpointEvery == 0 {
+			opt.OnCheckpoint(res.ToCheckpoint(tumor, normal))
+		}
+		if activeAfter == 0 {
+			break
+		}
+	}
+	if res.Uncoverable == 0 {
+		res.Uncoverable = popWords(kern.TumorWeights, kactive.Words())
+		if opt.MaxIterations > 0 && len(res.Steps) == opt.MaxIterations {
+			res.Uncoverable = 0
+		}
+	}
+	return nil
+}

@@ -1,8 +1,6 @@
 package cover
 
 import (
-	"math/bits"
-
 	"repro/internal/bitmat"
 	"repro/internal/combinat"
 	"repro/internal/reduce"
@@ -74,8 +72,8 @@ func kernelPair(env *kernelEnv, part sched.Partition, observe func(reduce.Combo)
 	aw := env.active.Words()
 	i, j := combinat.PairCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
-		tp := bitmat.PopAnd3(aw, tm.Row(i), tm.Row(j))
-		nh := bitmat.PopAnd2(nm.Row(i), nm.Row(j))
+		tp := env.tpop3(aw, tm.Row(i), tm.Row(j))
+		nh := env.npop2(nm.Row(i), nm.Row(j))
 		observe(reduce.NewCombo2(env.score(tp, nh), i, j))
 		i++
 		if i == j {
@@ -112,15 +110,15 @@ func kernel2x1(env *kernelEnv, opt Options, part sched.Partition, s *kernelScrat
 		case opt.MemOpt2:
 			// Pre-fold active ∧ row(i) ∧ row(j) once per thread.
 			bitmat.AndWords(tbuf, aw, tm.Row(i))
-			tp2 := bitmat.AndWordsPop(tbuf, tbuf, tm.Row(j))
+			tp2 := env.tfold(tbuf, tbuf, tm.Row(j))
 			if env.prune(tp2) {
 				n.Pruned += uint64(g - j - 1)
 				break
 			}
 			bitmat.AndWords(nbuf, nm.Row(i), nm.Row(j))
 			for k := j + 1; k < g; k++ {
-				tp := bitmat.PopAnd2(tbuf, tm.Row(k))
-				nh := bitmat.PopAnd2(nbuf, nm.Row(k))
+				tp := env.tpop2(tbuf, tm.Row(k))
+				nh := env.npop2(nbuf, nm.Row(k))
 				if c := reduce.NewCombo3(env.score(tp, nh), i, j, k); c.Better(best) {
 					best = c
 					env.offer(c)
@@ -134,8 +132,8 @@ func kernel2x1(env *kernelEnv, opt Options, part sched.Partition, s *kernelScrat
 				break
 			}
 			for k := j + 1; k < g; k++ {
-				tp := bitmat.PopAnd4(aw, ti, tm.Row(j), tm.Row(k))
-				nh := bitmat.PopAnd3(ni, nm.Row(j), nm.Row(k))
+				tp := env.tpop4(aw, ti, tm.Row(j), tm.Row(k))
+				nh := env.npop3(ni, nm.Row(j), nm.Row(k))
 				if c := reduce.NewCombo3(env.score(tp, nh), i, j, k); c.Better(best) {
 					best = c
 					env.offer(c)
@@ -148,8 +146,8 @@ func kernel2x1(env *kernelEnv, opt Options, part sched.Partition, s *kernelScrat
 				break
 			}
 			for k := j + 1; k < g; k++ {
-				tp := bitmat.PopAnd4(aw, tm.Row(i), tm.Row(j), tm.Row(k))
-				nh := bitmat.PopAnd3(nm.Row(i), nm.Row(j), nm.Row(k))
+				tp := env.tpop4(aw, tm.Row(i), tm.Row(j), tm.Row(k))
+				nh := env.npop3(nm.Row(i), nm.Row(j), nm.Row(k))
 				if c := reduce.NewCombo3(env.score(tp, nh), i, j, k); c.Better(best) {
 					best = c
 					env.offer(c)
@@ -183,7 +181,7 @@ func kernel2x2(env *kernelEnv, part sched.Partition, s *kernelScratch, observe f
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		best := reduce.None
 		bitmat.AndWords(tbuf2, aw, tm.Row(i))
-		tp2 := bitmat.AndWordsPop(tbuf2, tbuf2, tm.Row(j))
+		tp2 := env.tfold(tbuf2, tbuf2, tm.Row(j))
 		if env.prune(tp2) {
 			n.Pruned += choose2(g - j - 1)
 			observe(best)
@@ -195,15 +193,15 @@ func kernel2x2(env *kernelEnv, part sched.Partition, s *kernelScratch, observe f
 		}
 		bitmat.AndWords(nbuf2, nm.Row(i), nm.Row(j))
 		for k := j + 1; k < g-1; k++ {
-			tp3 := bitmat.AndWordsPop(tbuf3, tbuf2, tm.Row(k))
+			tp3 := env.tfold(tbuf3, tbuf2, tm.Row(k))
 			if env.prune(tp3) {
 				n.Pruned += uint64(g - k - 1)
 				continue
 			}
 			bitmat.AndWords(nbuf3, nbuf2, nm.Row(k))
 			for l := k + 1; l < g; l++ {
-				tp := bitmat.PopAnd2(tbuf3, tm.Row(l))
-				nh := bitmat.PopAnd2(nbuf3, nm.Row(l))
+				tp := env.tpop2(tbuf3, tm.Row(l))
+				nh := env.npop2(nbuf3, nm.Row(l))
 				if c := reduce.NewCombo4(env.score(tp, nh), i, j, k, l); c.Better(best) {
 					best = c
 					env.offer(c)
@@ -238,29 +236,29 @@ func kernel1x3(env *kernelEnv, part sched.Partition, s *kernelScratch, observe f
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
 		i := combinat.ToInt(lambda)
 		best := reduce.None
-		tp1 := bitmat.AndWordsPop(t1, aw, tm.Row(i))
+		tp1 := env.tfold(t1, aw, tm.Row(i))
 		if env.prune(tp1) {
 			n.Pruned += choose3(g - i - 1)
 			observe(best)
 			continue
 		}
 		for j := i + 1; j < g-2; j++ {
-			tp2 := bitmat.AndWordsPop(tbuf2, t1, tm.Row(j))
+			tp2 := env.tfold(tbuf2, t1, tm.Row(j))
 			if env.prune(tp2) {
 				n.Pruned += choose2(g - j - 1)
 				continue
 			}
 			bitmat.AndWords(nbuf2, nm.Row(i), nm.Row(j))
 			for k := j + 1; k < g-1; k++ {
-				tp3 := bitmat.AndWordsPop(tbuf3, tbuf2, tm.Row(k))
+				tp3 := env.tfold(tbuf3, tbuf2, tm.Row(k))
 				if env.prune(tp3) {
 					n.Pruned += uint64(g - k - 1)
 					continue
 				}
 				bitmat.AndWords(nbuf3, nbuf2, nm.Row(k))
 				for l := k + 1; l < g; l++ {
-					tp := bitmat.PopAnd2(tbuf3, tm.Row(l))
-					nh := bitmat.PopAnd2(nbuf3, nm.Row(l))
+					tp := env.tpop2(tbuf3, tm.Row(l))
+					nh := env.npop2(nbuf3, nm.Row(l))
 					if c := reduce.NewCombo4(env.score(tp, nh), i, j, k, l); c.Better(best) {
 						best = c
 						env.offer(c)
@@ -284,14 +282,8 @@ func kernel4x1(env *kernelEnv, part sched.Partition, observe func(reduce.Combo))
 	aw := env.active.Words()
 	i, j, k, l := combinat.QuadCoords(part.Lo)
 	for lambda := part.Lo; lambda < part.Hi; lambda++ {
-		tp := 0
-		{
-			ti, tj, tk, tl := tm.Row(i), tm.Row(j), tm.Row(k), tm.Row(l)
-			for w := range ti {
-				tp += bits.OnesCount64(aw[w] & ti[w] & tj[w] & tk[w] & tl[w])
-			}
-		}
-		nh := nm.AndPopCount4(i, j, k, l)
+		tp := env.tpop5(aw, tm.Row(i), tm.Row(j), tm.Row(k), tm.Row(l))
+		nh := env.npop4(nm.Row(i), nm.Row(j), nm.Row(k), nm.Row(l))
 		observe(reduce.NewCombo4(env.score(tp, nh), i, j, k, l))
 		// Advance (i, j, k, l) in λ order: i fastest, then j, k, l.
 		i++
@@ -324,15 +316,15 @@ func kernel3x1(env *kernelEnv, part sched.Partition, s *kernelScratch, observe f
 		best := reduce.None
 		bitmat.AndWords(tbuf, aw, tm.Row(i))
 		bitmat.AndWords(tbuf, tbuf, tm.Row(j))
-		tp3 := bitmat.AndWordsPop(tbuf, tbuf, tm.Row(k))
+		tp3 := env.tfold(tbuf, tbuf, tm.Row(k))
 		if env.prune(tp3) {
 			n.Pruned += uint64(g - k - 1)
 		} else {
 			bitmat.AndWords(nbuf, nm.Row(i), nm.Row(j))
 			bitmat.AndWords(nbuf, nbuf, nm.Row(k))
 			for l := k + 1; l < g; l++ {
-				tp := bitmat.PopAnd2(tbuf, tm.Row(l))
-				nh := bitmat.PopAnd2(nbuf, nm.Row(l))
+				tp := env.tpop2(tbuf, tm.Row(l))
+				nh := env.npop2(nbuf, nm.Row(l))
 				if c := reduce.NewCombo4(env.score(tp, nh), i, j, k, l); c.Better(best) {
 					best = c
 					env.offer(c)

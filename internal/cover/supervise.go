@@ -87,6 +87,16 @@ func PartitionPlan(genes int, opt Options, chunks int) ([]sched.Partition, error
 // which makes its counts deterministic and makes the partition safely
 // retryable after a mid-scan crash.
 func ScanPartition(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options, part sched.Partition, denom float64, shared *reduce.SharedBest) (reduce.Combo, Counts, error) {
+	return ScanPartitionWeighted(tumor, normal, active, nil, nil, opt, part, denom, shared)
+}
+
+// ScanPartitionWeighted is ScanPartition over a kernelized instance: tw/nw
+// carry the merged sample columns' multiplicities (nil means unweighted)
+// and every popcount the kernels take is weighted accordingly, so the
+// scores — and therefore the winner and the counts — equal the
+// unkernelized scan's exactly. The supervised runner calls this form when
+// Options.Kernelize is on.
+func ScanPartitionWeighted(tumor, normal *bitmat.Matrix, active *bitmat.Vec, tw, nw *bitmat.Weights, opt Options, part sched.Partition, denom float64, shared *reduce.SharedBest) (reduce.Combo, Counts, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return reduce.None, Counts{}, err
@@ -107,14 +117,7 @@ func ScanPartition(tumor, normal *bitmat.Matrix, active *bitmat.Vec, opt Options
 	if part.Size() == 0 {
 		return reduce.None, Counts{}, nil
 	}
-	env := &kernelEnv{
-		tumor:  tumor,
-		normal: normal,
-		active: active,
-		alpha:  opt.Alpha,
-		denom:  denom,
-		nn:     normal.Samples(),
-	}
+	env := newKernelEnv(tumor, normal, active, tw, nw, opt.Alpha, denom)
 	if !opt.NoPrune && opt.Scheme.prunable() {
 		if shared != nil {
 			env.shared = shared
@@ -144,6 +147,15 @@ func Replay(tumor, normal *bitmat.Matrix, opt Options, cp *Checkpoint) (*Result,
 	}
 	if cp.Alpha != opt.Alpha {
 		return nil, nil, fmt.Errorf("cover: checkpoint used α=%g, options say %g", cp.Alpha, opt.Alpha)
+	}
+	if cp.Kernelize != opt.Kernelize {
+		// The replayed steps are engine-independent (original gene ids,
+		// original sample counts), but resume promises a continuation
+		// bit-identical to the uninterrupted run — which pins the engine
+		// mode, like Hits and Alpha. Reject the mismatch instead of
+		// silently switching reduction regimes mid-run.
+		return nil, nil, fmt.Errorf("cover: checkpoint kernelize=%v, options say %v",
+			cp.Kernelize, opt.Kernelize)
 	}
 	if cp.TumorFingerprint != tumor.Fingerprint() || cp.NormalFingerprint != normal.Fingerprint() {
 		return nil, nil, fmt.Errorf("cover: checkpoint fingerprint (tumor %016x, normal %016x) does not match these matrices: %w",

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cover"
+)
+
+// TestKernelizedHarnessMatchesEngine: the supervised runner over a static
+// kernel reproduces the kernelized engine's cover exactly — same
+// combinations (original gene ids), same cover counts, same scanned total
+// per pass.
+func TestKernelizedHarnessMatchesEngine(t *testing.T) {
+	for _, hits := range []int{2, 3, 4} {
+		t.Run(fmt.Sprintf("h%d", hits), func(t *testing.T) {
+			tumor, normal := cohort(t, "BRCA", 32, hits, 7)
+			ref, err := cover.Run(tumor, normal, cover.Options{Hits: hits, Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(context.Background(), tumor, normal, Options{
+				Cover: cover.Options{Hits: hits, Workers: 3, Kernelize: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSteps(t, "kernelized harness vs plain engine", res.Steps, ref.Steps)
+			if res.Covered != ref.Covered || res.Uncoverable != ref.Uncoverable {
+				t.Fatalf("totals differ: %d/%d vs %d/%d",
+					res.Covered, res.Uncoverable, ref.Covered, ref.Uncoverable)
+			}
+			if res.Partial || res.Stop != StopCompleted || len(res.Quarantined) != 0 {
+				t.Fatalf("clean run reported partial: %+v", res)
+			}
+			// The static kernel's dropped work is credited to Pruned, so
+			// the supervised scan still accounts the full λ-domain per
+			// pass — identical to the plain engine's total.
+			if res.Evaluated+res.Pruned != ref.Evaluated+ref.Pruned {
+				t.Fatalf("scanned %d, engine scanned %d",
+					res.Evaluated+res.Pruned, ref.Evaluated+ref.Pruned)
+			}
+		})
+	}
+}
+
+// TestKernelizedCrashResumeEquivalence is the PR's resume property: a
+// kernelized supervised run killed after EVERY step and resumed from disk
+// converges to the identical cover — the checkpoint's kernel fingerprint
+// pins the rebuilt kernel, and the fixed partition plan keeps the
+// Evaluated/Pruned totals deterministic across legs.
+func TestKernelizedCrashResumeEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		code  string
+		genes int
+		hits  int
+	}{
+		{"BRCA", 36, 3},
+		{"LGG", 40, 2},
+	} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s_w%d", tc.code, workers), func(t *testing.T) {
+				tumor, normal := cohort(t, tc.code, tc.genes, tc.hits, 11)
+				opt := Options{Cover: cover.Options{
+					Hits: tc.hits, Workers: workers, Kernelize: true,
+				}}
+				ref, err := Run(context.Background(), tumor, normal, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := crashResume(t, tumor, normal, opt, "panic@1")
+				sameSteps(t, "kernelized crash-resume vs uninterrupted", got.Steps, ref.Steps)
+				if got.Covered != ref.Covered || got.Uncoverable != ref.Uncoverable {
+					t.Fatal("cover totals differ after crash-resume")
+				}
+				if got.Evaluated != ref.Evaluated || got.Pruned != ref.Pruned {
+					t.Fatalf("work totals differ: %d/%d vs %d/%d",
+						got.Evaluated, got.Pruned, ref.Evaluated, ref.Pruned)
+				}
+				if !got.Resumed || got.ReplayedSteps == 0 {
+					t.Fatal("resume never replayed a checkpoint")
+				}
+			})
+		}
+	}
+}

@@ -11,8 +11,10 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/ckptstore"
+	"repro/internal/combinat"
 	"repro/internal/cover"
 	"repro/internal/failpoint"
+	"repro/internal/kernelize"
 	"repro/internal/reduce"
 	"repro/internal/sched"
 )
@@ -52,19 +54,47 @@ func Run(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Resul
 	if workers < 1 {
 		workers = 1
 	}
-	parts, err := cover.PartitionPlan(tumor.Genes(), copt, workers*DefaultPartitionsPerWorker)
+	// Under Kernelize the partition plan covers the reduced gene axis: the
+	// kernel is STATIC for the whole run (no per-iteration incumbent drop,
+	// unlike the in-process engine) so the plan — and with it every
+	// partition's counts — stays identical across resumed legs, which is
+	// what the crash-invariance property tests require.
+	var kern *kernelize.Kernel
+	var staticDrop uint64
+	planGenes := tumor.Genes()
+	if copt.Kernelize {
+		kern, err = kernelize.Reduce(tumor, normal, copt.Hits)
+		if err != nil {
+			return nil, err
+		}
+		planGenes = len(kern.Keep)
+		full, ok := combinat.Binomial(uint64(tumor.Genes()), uint64(copt.Hits))
+		if !ok {
+			return nil, fmt.Errorf("harness: domain C(%d, %d) overflows uint64",
+				tumor.Genes(), copt.Hits)
+		}
+		kd, ok := combinat.Binomial(uint64(planGenes), uint64(copt.Hits))
+		if !ok {
+			return nil, fmt.Errorf("harness: kernel domain C(%d, %d) overflows uint64",
+				planGenes, copt.Hits)
+		}
+		staticDrop = full - kd
+	}
+	parts, err := cover.PartitionPlan(planGenes, copt, workers*DefaultPartitionsPerWorker)
 	if err != nil {
 		return nil, err
 	}
 
 	r := &run{
-		opt:    opt,
-		copt:   copt,
-		tumor:  tumor,
-		normal: normal,
-		parts:  parts,
-		denom:  float64(tumor.Samples() + normal.Samples()),
-		out:    &Result{Options: copt},
+		opt:        opt,
+		copt:       copt,
+		tumor:      tumor,
+		normal:     normal,
+		kern:       kern,
+		staticDrop: staticDrop,
+		parts:      parts,
+		denom:      float64(tumor.Samples() + normal.Samples()),
+		out:        &Result{Options: copt},
 	}
 	start := time.Now()
 	defer func() { r.out.Elapsed = time.Since(start) }()
@@ -94,9 +124,19 @@ type run struct {
 	parts         []sched.Partition
 	denom         float64
 
+	// kern, when non-nil, is the static reduced instance the scans run
+	// over; staticDrop = C(G, h) − C(kernG, h) is the per-iteration prune
+	// credit for the genes the kernel removed, so Evaluated+Pruned still
+	// tallies the original λ-domain. Checkpoints keep binding to the
+	// ORIGINAL matrices; winners are remapped to original gene ids before
+	// a step is recorded.
+	kern       *kernelize.Kernel
+	staticDrop uint64
+
 	// cur is the matrix the scans run over: tumor in mask mode, the
-	// shrinking working splice under BitSplice. active is the scan mask
-	// (all-ones at cur's width under BitSplice).
+	// shrinking working splice under BitSplice, the kernel tumor under
+	// Kernelize. active is the scan mask (all-ones at cur's width under
+	// BitSplice; kernel-width under Kernelize).
 	cur    *bitmat.Matrix
 	active *bitmat.Vec
 
@@ -130,6 +170,10 @@ func (r *run) restore() error {
 		if err != nil {
 			return fmt.Errorf("harness: resume generation %d: %w", snap.Generation, err)
 		}
+		if r.kern != nil && cp.KernelFingerprint != 0 && cp.KernelFingerprint != r.kern.Fingerprint() {
+			return fmt.Errorf("harness: resume generation %d: checkpoint kernel fingerprint %016x does not match the rebuilt kernel %016x",
+				snap.Generation, cp.KernelFingerprint, r.kern.Fingerprint())
+		}
 		r.cres = cres
 		r.active = active
 		r.out.Resumed = true
@@ -142,6 +186,15 @@ func (r *run) restore() error {
 		r.active = bitmat.AllOnes(nt)
 	}
 	r.cur = r.tumor
+	if r.kern != nil {
+		// The scans run on the reduced instance; the replayed active mask
+		// carries over through the column map. Duplicate columns are
+		// covered in lockstep, so the representative column's bit decides
+		// for its whole group.
+		r.cres.KernelFingerprint = r.kern.Fingerprint()
+		r.cur = r.kern.Tumor
+		r.active = r.kern.MapActive(r.active)
+	}
 	if r.copt.BitSplice {
 		// The working splice is derived state: drop the already-covered
 		// samples from a private copy. Checkpoints keep binding to the
@@ -162,7 +215,7 @@ func (r *run) loop(ctx, dctx context.Context) error {
 		if r.copt.MaxIterations > 0 && len(r.cres.Steps) >= r.copt.MaxIterations {
 			return r.persistFinal()
 		}
-		remaining := r.active.PopCount()
+		remaining := r.weightedPop(r.active)
 		if r.copt.BitSplice {
 			remaining = r.cur.Samples()
 			r.active = bitmat.AllOnes(remaining)
@@ -188,6 +241,10 @@ func (r *run) loop(ctx, dctx context.Context) error {
 			r.out.Quarantined = append(r.out.Quarantined, q)
 			r.out.Unscanned += q.Size()
 		}
+		// The genes the static kernel removed are pruned work on every
+		// pass: with the credit, Evaluated+Pruned per completed step still
+		// sums to the original C(G, h).
+		cnt.Pruned += r.staticDrop
 		r.cres.Evaluated += cnt.Evaluated
 		r.cres.Pruned += cnt.Pruned
 		if best == reduce.None {
@@ -226,13 +283,13 @@ func (r *run) applyStep(stepIdx int, best reduce.Combo, cnt cover.Counts, remain
 			activeAfter = r.cur.Samples()
 		}
 	} else {
-		cov := bitmat.NewVec(r.tumor.Samples())
+		cov := bitmat.NewVec(r.cur.Samples())
 		copy(cov.Words(), coverBuf)
 		cov.And(r.active)
-		covered = cov.PopCount()
+		covered = r.weightedPop(cov)
 		if covered > 0 {
 			r.active.AndNot(cov)
-			activeAfter = r.active.PopCount()
+			activeAfter = r.weightedPop(r.active)
 		}
 	}
 	if covered == 0 {
@@ -240,6 +297,12 @@ func (r *run) applyStep(stepIdx int, best reduce.Combo, cnt cover.Counts, remain
 		// have fewer than h mutated genes and are uncoverable.
 		r.cres.Uncoverable = remaining
 		return true
+	}
+	if r.kern != nil {
+		// Steps — and through them checkpoints — speak original gene ids;
+		// the kernel's identity never leaks into persisted state beyond
+		// its fingerprint.
+		best = r.kern.RemapCombo(best)
 	}
 	r.cres.Covered += covered
 	r.cres.Steps = append(r.cres.Steps, cover.Step{
@@ -417,7 +480,21 @@ func (r *run) scanOnce(part sched.Partition, shared *reduce.SharedBest) (c reduc
 	if ferr := failpoint.Check("harness/partition"); ferr != nil {
 		return reduce.None, cover.Counts{}, ferr
 	}
+	if r.kern != nil {
+		return cover.ScanPartitionWeighted(r.cur, r.kern.Normal, r.active,
+			r.kern.TumorWeights, r.kern.NormalWeights, r.copt, part, r.denom, shared)
+	}
 	return cover.ScanPartition(r.cur, r.normal, r.active, r.copt, part, r.denom, shared)
+}
+
+// weightedPop counts the original samples a kernel-width mask stands for;
+// outside kernel mode (or when no columns were merged) it is a plain
+// popcount.
+func (r *run) weightedPop(v *bitmat.Vec) int {
+	if r.kern == nil || r.kern.TumorWeights == nil {
+		return v.PopCount()
+	}
+	return r.kern.TumorWeights.PopVec(v.Words())
 }
 
 // backoff returns the deterministic, jittered delay before retry

@@ -29,6 +29,11 @@ func EquiCost(c Curve, p int, cost CostModel) ([]Partition, error) {
 	if !ok {
 		return nil, fmt.Errorf("sched: EquiCost requires a level-table curve, got %T", c)
 	}
+	// The float cost table would mask the wrap silently; refuse like the
+	// integer partitioners do.
+	if err := checkOverflow(c); err != nil {
+		return nil, err
+	}
 	// Float cumulative cost per level boundary.
 	cum := make([]float64, len(lv.work)+1)
 	for l, w := range lv.work {

@@ -1,0 +1,48 @@
+package sched
+
+import "testing"
+
+// TestQuadCurveOverflowDetected: the BRCA-scale 5-hit domain C(19411, 5)
+// ≈ 2.3e19 wraps uint64, as does C(100000, 5) while its C(G, 4) thread
+// count still fits — the cumulative-work table must detect the wrap and
+// every partitioner must refuse the curve instead of slicing garbage.
+func TestQuadCurveOverflowDetected(t *testing.T) {
+	c := NewQuad4x1(100000)
+	if !Overflowed(c) {
+		t.Fatal("C(100000, 5) curve not flagged as overflowed")
+	}
+	if _, err := EquiArea(c, 8); err == nil {
+		t.Fatal("EquiArea partitioned a wrapped curve")
+	}
+	if _, err := EquiDistance(c, 8); err == nil {
+		t.Fatal("EquiDistance partitioned a wrapped curve")
+	}
+	if _, err := EquiAreaRange(c, 0, c.Threads(), 8); err == nil {
+		t.Fatal("EquiAreaRange partitioned a wrapped curve")
+	}
+	if _, err := NewTwoLevel(c, 4, 6); err == nil {
+		t.Fatal("NewTwoLevel partitioned a wrapped curve")
+	}
+	if _, err := EquiCost(c, 8, UnitCost); err == nil {
+		t.Fatal("EquiCost partitioned a wrapped curve")
+	}
+}
+
+// TestPaperScaleCurvesFit: every ≤4-hit paper-scale curve stays within
+// uint64 and partitions cleanly.
+func TestPaperScaleCurvesFit(t *testing.T) {
+	for name, c := range map[string]Curve{
+		"3x1":  NewTetra3x1(19411),
+		"2x2":  NewTri2x2(19411),
+		"2x1":  NewTri2x1(19411),
+		"1x3":  NewLin1x3(19411),
+		"flat": NewFlat(1 << 40),
+	} {
+		if Overflowed(c) {
+			t.Fatalf("%s: paper-scale curve flagged as overflowed", name)
+		}
+		if _, err := EquiArea(c, 64); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

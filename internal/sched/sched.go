@@ -21,6 +21,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/combinat"
 )
@@ -48,6 +49,11 @@ type levels struct {
 	start []uint64 // len nLevels+1; start[nLevels] = Threads()
 	work  []uint64 // len nLevels; non-increasing
 	cum   []uint64 // len nLevels+1; cum[L] = total work before level L
+	// overflow records that the cumulative work table wrapped uint64 —
+	// e.g. the 5-hit quad curve at paper G, where C(19411, 5) ≈ 2.3·10¹⁹
+	// exceeds 2⁶⁴−1. A wrapped table would silently misplace every
+	// equi-area boundary, so the partitioners refuse such curves.
+	overflow bool
 }
 
 func newLevels(name string, start, work []uint64) *levels {
@@ -56,10 +62,35 @@ func newLevels(name string, start, work []uint64) *levels {
 		panic("sched: levels start/work length mismatch")
 	}
 	cum := make([]uint64, len(work)+1)
+	overflow := false
 	for l, w := range work {
-		cum[l+1] = cum[l] + (start[l+1]-start[l])*w
+		// Both the per-level product and the running sum can individually
+		// wrap (C(l, 3)·w alone exceeds uint64 at large G), so detect with
+		// full-width arithmetic rather than after-the-fact monotonicity.
+		hi, lo := bits.Mul64(start[l+1]-start[l], w)
+		sum, carry := bits.Add64(cum[l], lo, 0)
+		if hi != 0 || carry != 0 {
+			overflow = true
+		}
+		cum[l+1] = sum
 	}
-	return &levels{name: name, start: start, work: work, cum: cum}
+	return &levels{name: name, start: start, work: work, cum: cum, overflow: overflow}
+}
+
+// Overflowed reports whether the curve's cumulative work table wrapped
+// uint64. Such a curve still answers Threads/WorkAt correctly, but its
+// TotalWork/PrefixWork values are meaningless and every partitioner in
+// this package refuses it.
+func Overflowed(c Curve) bool {
+	lv, ok := c.(*levels)
+	return ok && lv.overflow
+}
+
+func checkOverflow(c Curve) error {
+	if Overflowed(c) {
+		return fmt.Errorf("sched: curve %s has a total work exceeding uint64; cannot partition a wrapped domain", c.Name())
+	}
+	return nil
 }
 
 func (lv *levels) Name() string    { return lv.name }
@@ -239,6 +270,12 @@ func EquiDistance(c Curve, p int) ([]Partition, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("sched: partition count must be positive, got %d", p)
 	}
+	// ED itself only counts threads, but every consumer of its partitions
+	// prices them with PrefixWork — refuse wrapped curves here too so a
+	// scheduler choice cannot smuggle a wrapped domain past the check.
+	if err := checkOverflow(c); err != nil {
+		return nil, err
+	}
 	n := c.Threads()
 	parts := make([]Partition, p)
 	var lo uint64
@@ -256,6 +293,9 @@ func EquiDistance(c Curve, p int) ([]Partition, error) {
 func EquiArea(c Curve, p int) ([]Partition, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("sched: partition count must be positive, got %d", p)
+	}
+	if err := checkOverflow(c); err != nil {
+		return nil, err
 	}
 	lv, ok := c.(*levels)
 	if !ok {
@@ -301,6 +341,9 @@ func EquiAreaRange(c Curve, lo, hi uint64, p int) ([]Partition, error) {
 	}
 	if hi > c.Threads() {
 		return nil, fmt.Errorf("sched: range [%d, %d) exceeds domain of %d threads", lo, hi, c.Threads())
+	}
+	if err := checkOverflow(c); err != nil {
+		return nil, err
 	}
 	lv, ok := c.(*levels)
 	if !ok {
@@ -375,6 +418,9 @@ func NaiveEquiArea(c Curve, p int) ([]Partition, error) {
 func naiveEquiArea(c Curve, p int) ([]Partition, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("sched: partition count must be positive, got %d", p)
+	}
+	if err := checkOverflow(c); err != nil {
+		return nil, err
 	}
 	total := c.TotalWork()
 	parts := make([]Partition, 0, p)
