@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchfull reports examples faults chaos kernel-smoke kernel-bench clean
+.PHONY: all build vet lint test race bench benchfull reports examples faults chaos kernel-smoke kernel-bench serve-smoke clean
 
 all: build vet lint test
 
@@ -65,6 +65,14 @@ kernel-smoke:
 # recorded in BENCH_7.json (see EXPERIMENTS.md E21).
 kernel-bench:
 	$(GO) run ./cmd/benchreport -exp kernel -benchout BENCH_7.json
+
+# Process-level discovery-service smoke test (docs/SERVICE.md): build the
+# real multihitd binary, submit a job over HTTP, SIGKILL the daemon
+# mid-job, restart it on the same data directory, and require the resumed
+# result bit-identical to an uninterrupted run plus a cache hit on
+# resubmission.
+serve-smoke:
+	$(GO) test -count=1 -v -run TestServeSmoke ./cmd/multihitd
 
 clean:
 	$(GO) clean ./...

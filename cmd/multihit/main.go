@@ -12,6 +12,23 @@
 // The gene universe is scaled to -genes because a full 19 411-gene 4-hit
 // enumeration needs the 6000-GPU machine the paper used; see cmd/simscale
 // for the paper-scale performance model.
+//
+// # Exit codes
+//
+// multihit exits with the repo-wide contract defined once in
+// internal/service (a CLI leg and a daemon job are the same run in
+// different clothing):
+//
+//	0 (service.ExitOK)        complete cover: the greedy loop ran to its
+//	                          natural end
+//	1 (service.ExitFailure)   failure: bad usage, IO error, failed resume,
+//	                          engine error
+//	3 (service.ExitEarlyStop) early stop: deadline or signal ended the run
+//	                          with a best-so-far cover checkpointed for the
+//	                          next leg
+//
+// Batch scripts branch on 3 to schedule the next leg instead of alerting;
+// exitcode_test.go pins all three paths.
 package main
 
 import (
@@ -32,6 +49,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/harness"
 	"repro/internal/reduce"
+	"repro/internal/service"
 	"repro/internal/stats"
 )
 
@@ -346,10 +364,11 @@ func runSupervised(cohort *dataset.Cohort, opt cover.Options, dir string, resume
 			fmt.Printf("checkpoint: generation %d in %s\n", res.PersistedGeneration, dir)
 		}
 	}
-	if res.Stop != harness.StopCompleted {
-		// Early-stopped runs exit non-zero so batch scripts can tell a
-		// walltime kill from natural completion and schedule the next leg.
-		os.Exit(3)
+	if code := service.StateForStop(res.Stop).ExitCode(); code != service.ExitOK {
+		// Early-stopped runs exit with the shared early-stop code so batch
+		// scripts can tell a walltime kill from natural completion and
+		// schedule the next leg.
+		os.Exit(code)
 	}
 }
 
@@ -444,5 +463,5 @@ func run5(cohort *dataset.Cohort, maxIter int) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "multihit:", err)
-	os.Exit(1)
+	os.Exit(service.ExitFailure)
 }

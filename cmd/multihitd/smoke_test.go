@@ -1,0 +1,279 @@
+package main
+
+// Process-level smoke test (`make serve-smoke`): start the real daemon,
+// submit a seeded BRCA job over HTTP, stream its progress via SSE, kill
+// the daemon with SIGKILL mid-job, restart it on the same data directory,
+// and require the resumed job to finish with a result bit-identical to an
+// uninterrupted in-process harness run — then require an identical
+// resubmission to be answered from the restarted daemon's result cache.
+// This is the issue's acceptance scenario with a real process boundary:
+// nothing survives the SIGKILL except what ckptstore persisted.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// smokeSpec is the seeded BRCA job the smoke test submits.
+func smokeSpec() service.JobSpec {
+	return service.JobSpec{
+		Tenant:  "smoke",
+		Cohort:  service.CohortSpec{Code: "BRCA", Genes: 40, Hits: 2, Seed: 11},
+		Options: service.OptionsSpec{Workers: 2},
+	}
+}
+
+// daemon wraps one multihitd process.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	killed chan struct{}
+}
+
+// startDaemon launches multihitd and waits for its address file.
+func startDaemon(t *testing.T, bin, dataDir string, slow bool) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-data-dir", dataDir)
+	cmd.Stderr = os.Stderr
+	if slow {
+		// Slow each partition scan so the SIGKILL reliably lands between
+		// the first checkpoint and completion. harness/partition is the
+		// per-partition point the daemon's supervised scans pass through;
+		// a delay action sleeps without failing the partition.
+		cmd.Env = append(os.Environ(), "MULTIHIT_FAILPOINTS=harness/partition=delay(15ms)")
+	} else {
+		cmd.Env = os.Environ()
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	d := &daemon{cmd: cmd, killed: make(chan struct{})}
+	t.Cleanup(d.ensureKilled)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(bytes.TrimSpace(data)) > 0 {
+			d.base = "http://" + strings.TrimSpace(string(data))
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("daemon never published its address")
+		}
+		if cmd.ProcessState != nil {
+			t.Fatalf("daemon exited before listening: %v", cmd.ProcessState)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The daemon republishes the file on restart; remove it so a later
+	// startDaemon never reads a stale address.
+	_ = os.Remove(addrFile)
+	return d
+}
+
+// kill SIGKILLs the daemon — no drain, no checkpoint-on-exit; only what
+// was already persisted survives.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("killing daemon: %v", err)
+	}
+	_ = d.cmd.Wait()
+	close(d.killed)
+}
+
+// ensureKilled reaps the daemon at test cleanup if the test bailed out
+// before its explicit kill — otherwise an early Fatal leaks the process
+// and the test hangs on its stderr pipe.
+func (d *daemon) ensureKilled() {
+	select {
+	case <-d.killed:
+	default:
+		_ = d.cmd.Process.Signal(syscall.SIGKILL)
+		_ = d.cmd.Wait()
+		close(d.killed)
+	}
+}
+
+// submit posts the spec and returns the created job status.
+func (d *daemon) submit(t *testing.T, spec service.JobSpec) *service.JobStatus {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshaling spec: %v", err)
+	}
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := json.Marshal(resp.Header)
+		t.Fatalf("submit → %d (%s)", resp.StatusCode, msg)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return &st
+}
+
+// streamUntilCheckpoint follows the job's SSE stream until the first
+// persisted checkpoint, failing if the stream ends first.
+func (d *daemon) streamUntilCheckpoint(t *testing.T, id string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatalf("building events request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	var sawProgress, sawCheckpoint bool
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		switch e.Type {
+		case "progress":
+			sawProgress = true
+		case "checkpoint":
+			sawCheckpoint = true
+		}
+		if sawProgress && sawCheckpoint {
+			return
+		}
+	}
+	t.Fatalf("stream ended with progress=%v checkpoint=%v (scan err: %v) — job finished too fast to test the kill",
+		sawProgress, sawCheckpoint, scanner.Err())
+}
+
+// getStatus polls one job.
+func (d *daemon) getStatus(t *testing.T, id string) *service.JobStatus {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return &st
+}
+
+// waitTerminal polls until the job reports an exit code.
+func (d *daemon) waitTerminal(t *testing.T, id string, timeout time.Duration) *service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := d.getStatus(t, id)
+		if st.ExitCode != nil {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal after %s (state %s)", id, timeout, st.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second process-level smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), "multihitd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building multihitd: %v\n%s", err, out)
+	}
+
+	// Ground truth: the uninterrupted in-process run of the same spec.
+	spec := smokeSpec()
+	cohort, err := spec.Cohort.Generate()
+	if err != nil {
+		t.Fatalf("generating cohort: %v", err)
+	}
+	opt, err := spec.Options.CoverOptions(spec.Cohort.Hits)
+	if err != nil {
+		t.Fatalf("resolving options: %v", err)
+	}
+	want, err := harness.Run(context.Background(), cohort.Tumor, cohort.Normal, harness.Options{Cover: opt})
+	if err != nil {
+		t.Fatalf("direct harness run: %v", err)
+	}
+
+	dataDir := t.TempDir()
+	d1 := startDaemon(t, bin, dataDir, true)
+	st := d1.submit(t, spec)
+	d1.streamUntilCheckpoint(t, st.ID)
+	d1.kill(t)
+
+	d2 := startDaemon(t, bin, dataDir, false)
+	defer d2.kill(t)
+	final := d2.waitTerminal(t, st.ID, 90*time.Second)
+	if final.State != "succeeded" || *final.ExitCode != service.ExitOK {
+		t.Fatalf("resumed job ended %s exit %d, want succeeded/0", final.State, *final.ExitCode)
+	}
+	if !final.Resumed {
+		t.Fatal("restarted daemon did not resume the job from its checkpoint store")
+	}
+	assertSmokeResult(t, final.Result, want)
+
+	// Identical resubmission: served from the cache, no rescan.
+	st2 := d2.submit(t, spec)
+	if st2.State != "succeeded" || st2.Result == nil || st2.Result.CachedFrom != st.ID {
+		t.Fatalf("resubmission state=%s result=%+v, want cached from %s", st2.State, st2.Result, st.ID)
+	}
+	assertSmokeResult(t, st2.Result, want)
+}
+
+// assertSmokeResult requires combos/cover/Evaluated/Pruned bit-identical
+// to the direct run.
+func assertSmokeResult(t *testing.T, got *service.JobResult, want *harness.Result) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("job has no result")
+	}
+	if len(got.Combos) != len(want.Steps) {
+		t.Fatalf("%d combos, want %d", len(got.Combos), len(want.Steps))
+	}
+	for i, c := range got.Combos {
+		if fmt.Sprint(c.GeneIDs) != fmt.Sprint(want.Steps[i].Combo.GeneIDs()) {
+			t.Fatalf("combo %d genes %v, want %v", i, c.GeneIDs, want.Steps[i].Combo.GeneIDs())
+		}
+		if c.F != want.Steps[i].Combo.F {
+			t.Fatalf("combo %d F=%v, want %v (bit-identical)", i, c.F, want.Steps[i].Combo.F)
+		}
+	}
+	if got.Covered != want.Covered || got.Uncoverable != want.Uncoverable ||
+		got.Evaluated != want.Evaluated || got.Pruned != want.Pruned {
+		t.Fatalf("result covered=%d uncoverable=%d evaluated=%d pruned=%d, want %d/%d/%d/%d",
+			got.Covered, got.Uncoverable, got.Evaluated, got.Pruned,
+			want.Covered, want.Uncoverable, want.Evaluated, want.Pruned)
+	}
+}

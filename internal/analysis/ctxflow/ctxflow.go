@@ -75,6 +75,7 @@ var reportScope = map[string]bool{
 	"cluster":   true,
 	"harness":   true,
 	"kernelize": true,
+	"service":   true,
 }
 
 // longRunningSeeds are the cover functions seeded as LongRunning by name

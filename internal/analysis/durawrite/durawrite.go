@@ -6,8 +6,9 @@
 // directory — and when no write or close error is silently dropped (a
 // failed Close on a buffered write is a failed write).
 //
-// Within the scoped packages (ckptstore, cover, harness, multihit — the
-// layers that produce or consume checkpoint files), three rules:
+// Within the scoped packages (ckptstore, cover, harness, multihit,
+// service, multihitd — the layers that produce or consume checkpoint
+// files and the daemon's durable job specs/results), three rules:
 //
 //  1. Raw file-creation APIs (os.Create, os.WriteFile, os.OpenFile) outside
 //     internal/ckptstore are flagged: the checkpoint path has exactly one
@@ -28,8 +29,8 @@
 //
 // Everything here is intentionally syntactic and local except the
 // DurableWriter fact; the value of the analyzer is that the checkpoint
-// write protocol cannot regress silently in any of the four packages that
-// touch checkpoint bytes.
+// write protocol cannot regress silently in any of the packages that
+// touch checkpoint or job-state bytes.
 package durawrite
 
 import (
@@ -54,8 +55,10 @@ func (*DurableWriter) String() string { return "durable-writer" }
 var Analyzer = &analysis.Analyzer{
 	Name: "durawrite",
 	Doc:  "flags checkpoint-path file IO bypassing ckptstore's atomic publish, discarded Close/Sync errors, and unbounded reads",
-	// The packages that produce or consume checkpoint files.
-	Scope:     []string{"ckptstore", "cover", "harness", "multihit"},
+	// The packages that produce or consume checkpoint files, plus the
+	// discovery daemon whose job specs/results share the same durability
+	// contract.
+	Scope:     []string{"ckptstore", "cover", "harness", "multihit", "service", "multihitd"},
 	FactTypes: []analysis.Fact{new(DurableWriter)},
 	Run:       run,
 }

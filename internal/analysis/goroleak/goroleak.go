@@ -1,8 +1,8 @@
 // Package goroleak guards the engine's concurrent surface: every worker
 // goroutine launched by the parallel packages (internal/cover, cluster,
-// mpisim, gpusim) must signal completion on every return path, or a
-// WaitGroup.Wait / channel receive upstream blocks forever and the
-// long-running cluster path wedges mid-iteration.
+// mpisim, gpusim, harness, service) must signal completion on every
+// return path, or a WaitGroup.Wait / channel receive upstream blocks
+// forever and the long-running cluster path wedges mid-iteration.
 //
 // Two conservative, syntactic rules over `go func` literals in the scoped
 // packages:
@@ -29,8 +29,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "goroleak",
 	Doc:  "flags go func literals in the parallel packages lacking a completion signal on every return path",
 	// The packages whose goroutines feed WaitGroups and channels on the
-	// long-running cluster path.
-	Scope: []string{"cover", "cluster", "mpisim", "gpusim", "harness"},
+	// long-running cluster path, plus the discovery daemon's dispatcher
+	// and per-job workers.
+	Scope: []string{"cover", "cluster", "mpisim", "gpusim", "harness", "service"},
 	Run:   run,
 }
 

@@ -55,6 +55,10 @@ type Checkpoint struct {
 	// records each combination's cover count for integrity checking.
 	Combos       [][]int `json:"combos"`
 	NewlyCovered []int   `json:"newly_covered"`
+	// Scores records each combination's F value so a resumed leg reports
+	// the replayed steps bit-identically. Older checkpoints (same
+	// version) omit it; replay then leaves the replayed scores zero.
+	Scores []float64 `json:"scores,omitempty"`
 	// Evaluated carries the cumulative count of combinations scored;
 	// Pruned the cumulative count skipped by bound-and-prune. Older
 	// checkpoints (same version) simply carry zero Pruned.
@@ -89,6 +93,7 @@ func (r *Result) ToCheckpoint(tumor, normal *bitmat.Matrix) *Checkpoint {
 	for _, s := range r.Steps {
 		cp.Combos = append(cp.Combos, s.Combo.GeneIDs())
 		cp.NewlyCovered = append(cp.NewlyCovered, s.NewlyCovered)
+		cp.Scores = append(cp.Scores, s.Combo.F)
 	}
 	return cp
 }
@@ -114,6 +119,10 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if len(cp.Combos) != len(cp.NewlyCovered) {
 		return nil, fmt.Errorf("cover: checkpoint has %d combos but %d cover counts",
 			len(cp.Combos), len(cp.NewlyCovered))
+	}
+	if len(cp.Scores) != 0 && len(cp.Scores) != len(cp.Combos) {
+		return nil, fmt.Errorf("cover: checkpoint has %d combos but %d scores",
+			len(cp.Combos), len(cp.Scores))
 	}
 	return &cp, nil
 }

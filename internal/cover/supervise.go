@@ -165,6 +165,10 @@ func Replay(tumor, normal *bitmat.Matrix, opt Options, cp *Checkpoint) (*Result,
 		return nil, nil, fmt.Errorf("cover: checkpoint has %d combos but %d cover counts",
 			len(cp.Combos), len(cp.NewlyCovered))
 	}
+	if len(cp.Scores) != 0 && len(cp.Scores) != len(cp.Combos) {
+		return nil, nil, fmt.Errorf("cover: checkpoint has %d combos but %d scores",
+			len(cp.Combos), len(cp.Scores))
+	}
 
 	res := &Result{Options: opt, Evaluated: cp.Evaluated, Pruned: cp.Pruned}
 	active := bitmat.AllOnes(tumor.Samples())
@@ -191,8 +195,12 @@ func Replay(tumor, normal *bitmat.Matrix, opt Options, cp *Checkpoint) (*Result,
 		}
 		active.AndNot(cov)
 		res.Covered += newly
+		combo := replayCombo(ids)
+		if len(cp.Scores) > 0 {
+			combo.F = cp.Scores[i]
+		}
 		res.Steps = append(res.Steps, Step{
-			Combo:        replayCombo(ids),
+			Combo:        combo,
 			NewlyCovered: newly,
 			ActiveAfter:  active.PopCount(),
 		})

@@ -342,6 +342,30 @@ func (d DeviceSpec) Simulate(job Job) Metrics {
 	return m
 }
 
+// DevicesFor returns how many devices of this spec a launch of n
+// λ-threads needs to run at full occupancy — the sizing quantum the
+// discovery service's admission controller reserves per job (threads
+// below one device's saturation still occupy that whole device). Always
+// at least 1.
+func (d DeviceSpec) DevicesFor(threads uint64) int {
+	if threads == 0 || d.SaturationThreads <= 0 {
+		return 1
+	}
+	sat := uint64(d.SaturationThreads)
+	n := threads / sat
+	if threads%sat != 0 {
+		n++
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if n == 0 {
+		return 1
+	}
+	if n > uint64(maxInt) {
+		return maxInt
+	}
+	return int(n)
+}
+
 // Utilization converts per-device busy times into the Fig. 6/7 utilization
 // profile: each device's busy time as a fraction of the slowest device's.
 func Utilization(busy []float64) []float64 {

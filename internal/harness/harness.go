@@ -98,6 +98,32 @@ type Options struct {
 	// and resume provenance. Calls are serialized but may come from
 	// worker goroutines; keep it fast.
 	OnEvent func(Event)
+
+	// OnProgress, when non-nil, is called once per completed (scanned or
+	// quarantined) partition with the step's running scanned/total tally
+	// and the cumulative Unscanned coverage bound — the observable the
+	// discovery service (internal/service) streams as job progress.
+	// Calls are serialized but may come from worker goroutines; keep it
+	// fast.
+	OnProgress func(Progress)
+}
+
+// Progress is one per-partition progress report of the supervised loop.
+// Within a step, Done climbs monotonically to Total; a resumed leg starts
+// at the first unreplayed step, so Step is the absolute greedy step index.
+type Progress struct {
+	// Step is the 0-based greedy step being scanned.
+	Step int
+	// Done and Total count the step's completed partitions: Done includes
+	// both successfully scanned and quarantined partitions, so Done ==
+	// Total when the step's enumeration pass is over.
+	Done, Total int
+	// Quarantined counts this step's partitions abandoned so far.
+	Quarantined int
+	// Unscanned is the running combination-count coverage bound: the
+	// combinations withheld by every quarantine up to this point, prior
+	// steps included. It matches Result.Unscanned once the run ends.
+	Unscanned uint64
 }
 
 // EventKind classifies an Event.
@@ -207,6 +233,10 @@ type Result struct {
 	// in from the resumed checkpoint.
 	Evaluated uint64
 	Pruned    uint64
+	// KernelFingerprint identifies the reduced instance of a kernelized
+	// run (0 when Kernelize was off) — the provenance checkpoints and the
+	// discovery service's result cache key on.
+	KernelFingerprint uint64
 	// Elapsed is this leg's wall-clock time (replay included, prior legs
 	// excluded).
 	Elapsed time.Duration

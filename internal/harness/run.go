@@ -337,6 +337,7 @@ func (r *run) finish() {
 	r.out.Uncoverable = c.Uncoverable
 	r.out.Evaluated = c.Evaluated
 	r.out.Pruned = c.Pruned
+	r.out.KernelFingerprint = c.KernelFingerprint
 	r.out.Partial = r.out.Stop != StopCompleted || len(r.out.Quarantined) > 0
 }
 
@@ -391,6 +392,28 @@ func (r *run) scanStep(ctx context.Context, stepIdx int) (reduce.Combo, cover.Co
 		workers = 1
 	}
 	outcomes := make([]partOutcome, len(r.parts))
+	// Step-local progress tally; the cumulative Unscanned base is stable
+	// for the whole step (loop() folds quarantines in between steps).
+	var prog struct {
+		sync.Mutex
+		done, quar int
+		unscanned  uint64
+	}
+	report := func(q *Quarantine) {
+		if r.opt.OnProgress == nil {
+			return
+		}
+		prog.Lock()
+		prog.done++
+		if q != nil {
+			prog.quar++
+			prog.unscanned += q.Size()
+		}
+		p := Progress{Step: stepIdx, Done: prog.done, Total: len(r.parts),
+			Quarantined: prog.quar, Unscanned: r.out.Unscanned + prog.unscanned}
+		prog.Unlock()
+		r.progress(p)
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -407,9 +430,10 @@ func (r *run) scanStep(ctx context.Context, stepIdx int) (reduce.Combo, cover.Co
 				}
 				if r.parts[i].Size() == 0 {
 					outcomes[i] = partOutcome{combo: reduce.None}
-					continue
+				} else {
+					outcomes[i] = r.runPartition(ctx, stepIdx, i, shared)
 				}
-				outcomes[i] = r.runPartition(ctx, stepIdx, i, shared)
+				report(outcomes[i].quarantine)
 			}
 		}()
 	}
@@ -523,6 +547,17 @@ func (r *run) event(e Event) {
 	r.eventsMu.Lock()
 	defer r.eventsMu.Unlock()
 	r.opt.OnEvent(e)
+}
+
+// progress delivers a per-partition progress callback, serialized with
+// the event stream so observers see a consistent interleaving.
+func (r *run) progress(p Progress) {
+	if r.opt.OnProgress == nil {
+		return
+	}
+	r.eventsMu.Lock()
+	defer r.eventsMu.Unlock()
+	r.opt.OnProgress(p)
 }
 
 // sleepCtx sleeps for d unless the context is canceled first; it reports

@@ -1,0 +1,147 @@
+package service
+
+// Fair-share job queue (docs/SERVICE.md §3).
+//
+// Jobs are grouped by priority class, and within a class by tenant.
+// Dispatch picks the highest non-empty class; within it, the tenant with
+// the lowest virtual start time — a per-tenant counter bumped by one each
+// time one of the tenant's jobs starts. A tenant that floods the queue
+// therefore advances its own clock past everyone else's and yields the
+// next starts to lighter tenants: with tenants A (many jobs) and B (few),
+// starts interleave A, B, A, B, ... instead of draining A first.
+//
+// A tenant returning from idle has its clock caught up to the minimum
+// clock of the currently queued tenants, so idle time cannot be banked
+// into a burst of back-to-back starts.
+
+import "sort"
+
+// fairQueue is the in-memory queue. Not self-locking: the Service guards
+// it with its own mutex (queue mutations and dispatch share one critical
+// section).
+type fairQueue struct {
+	// queued[class][tenant] is the tenant's FIFO within the class.
+	queued map[Priority]map[string][]*job
+	// clock[tenant] is the tenant's virtual start time.
+	clock map[string]uint64
+	// depth counts queued jobs across all classes.
+	depth int
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{
+		queued: map[Priority]map[string][]*job{},
+		clock:  map[string]uint64{},
+	}
+}
+
+// Len is the number of queued jobs.
+func (q *fairQueue) Len() int { return q.depth }
+
+// Push appends the job to its tenant's FIFO. A tenant entering from idle
+// is caught up to the lowest queued clock so it cannot bank credit.
+func (q *fairQueue) Push(j *job) {
+	class := q.queued[j.priority]
+	if class == nil {
+		class = map[string][]*job{}
+		q.queued[j.priority] = class
+	}
+	if len(class[j.tenant]) == 0 && !q.tenantQueued(j.tenant) {
+		if min, ok := q.minQueuedClock(); ok && q.clock[j.tenant] < min {
+			q.clock[j.tenant] = min
+		}
+	}
+	class[j.tenant] = append(class[j.tenant], j)
+	q.depth++
+}
+
+// tenantQueued reports whether the tenant has a queued job in any class.
+func (q *fairQueue) tenantQueued(tenant string) bool {
+	for _, class := range q.queued {
+		if len(class[tenant]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// minQueuedClock returns the lowest clock among tenants with queued jobs.
+func (q *fairQueue) minQueuedClock() (uint64, bool) {
+	min, ok := uint64(0), false
+	for _, class := range q.queued {
+		for tenant, jobs := range class {
+			if len(jobs) == 0 {
+				continue
+			}
+			if c := q.clock[tenant]; !ok || c < min {
+				min, ok = c, true
+			}
+		}
+	}
+	return min, ok
+}
+
+// Next returns the job fair-share dispatch would start next for which
+// fits(job) is true, removing it from the queue and advancing its
+// tenant's clock. It scans classes high to low; within a class, tenants
+// in clock order (ties broken by tenant name for determinism); within a
+// tenant, FIFO order — but only the tenant's HEAD job is eligible, so a
+// tenant's jobs never reorder against each other. A head job that does
+// not fit (admission would oversubscribe the simulated cluster) is
+// skipped in favor of the next tenant or class, keeping the cluster busy
+// without reordering any single tenant's work.
+func (q *fairQueue) Next(fits func(*job) bool) *job {
+	for class := PriorityUrgent; class >= PriorityBatch; class-- {
+		tenants := q.queued[class]
+		if len(tenants) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(tenants))
+		for tenant, jobs := range tenants {
+			if len(jobs) > 0 {
+				names = append(names, tenant)
+			}
+		}
+		sort.Slice(names, func(a, b int) bool {
+			ca, cb := q.clock[names[a]], q.clock[names[b]]
+			if ca != cb {
+				return ca < cb
+			}
+			return names[a] < names[b]
+		})
+		for _, tenant := range names {
+			head := tenants[tenant][0]
+			if !fits(head) {
+				continue
+			}
+			tenants[tenant] = tenants[tenant][1:]
+			if len(tenants[tenant]) == 0 {
+				delete(tenants, tenant)
+			}
+			q.depth--
+			q.clock[tenant]++
+			return head
+		}
+	}
+	return nil
+}
+
+// Remove deletes a queued job (cancellation), reporting whether it was
+// found.
+func (q *fairQueue) Remove(id string) bool {
+	for _, class := range q.queued {
+		for tenant, jobs := range class {
+			for i, j := range jobs {
+				if j.id == id {
+					class[tenant] = append(jobs[:i], jobs[i+1:]...)
+					if len(class[tenant]) == 0 {
+						delete(class, tenant)
+					}
+					q.depth--
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

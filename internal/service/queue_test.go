@@ -1,0 +1,191 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// qjob builds a bare queue-level job record.
+func qjob(id int, tenant string, prio Priority) *job {
+	return &job{id: fmt.Sprintf(jobIDPattern, id), tenant: tenant, priority: prio}
+}
+
+func fitsAll(*job) bool { return true }
+
+// drain pops until empty and returns the tenants in start order.
+func drain(q *fairQueue) []string {
+	var order []string
+	for {
+		j := q.Next(fitsAll)
+		if j == nil {
+			return order
+		}
+		order = append(order, j.tenant)
+	}
+}
+
+// TestFairShareInterleavesSkewedTenants is the issue's headline scenario:
+// tenant A floods the queue, tenant B submits a couple of jobs, and the
+// start order interleaves instead of draining A first.
+func TestFairShareInterleavesSkewedTenants(t *testing.T) {
+	q := newFairQueue()
+	id := 0
+	for i := 0; i < 8; i++ {
+		id++
+		q.Push(qjob(id, "alice", PriorityNormal))
+	}
+	for i := 0; i < 2; i++ {
+		id++
+		q.Push(qjob(id, "bob", PriorityNormal))
+	}
+	got := drain(q)
+	// Clocks start equal, ties break by name: alice, bob, alice, bob,
+	// then alice owns the rest.
+	want := []string{"alice", "bob", "alice", "bob", "alice", "alice", "alice", "alice", "alice", "alice"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("start order %v, want %v", got, want)
+	}
+}
+
+// TestFairShareSkewedSubmissionRates mixes arrival with dispatch: the
+// heavy tenant keeps pushing between starts, yet the light tenant is
+// never starved for more than one start.
+func TestFairShareSkewedSubmissionRates(t *testing.T) {
+	q := newFairQueue()
+	id := 0
+	push := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			id++
+			q.Push(qjob(id, tenant, PriorityNormal))
+		}
+	}
+	push("heavy", 4)
+	push("light", 1)
+	var starts []string
+	for round := 0; round < 12; round++ {
+		j := q.Next(fitsAll)
+		if j == nil {
+			break
+		}
+		starts = append(starts, j.tenant)
+		// The heavy tenant submits three more jobs for every start; the
+		// light tenant one.
+		push("heavy", 3)
+		if round%2 == 1 {
+			push("light", 1)
+		}
+	}
+	// Count the gap between consecutive light starts: fair share must not
+	// let heavy's flood push light's queued job more than one start back.
+	gap, maxGap := 0, 0
+	seenLight := false
+	for _, tenant := range starts {
+		if tenant == "light" {
+			seenLight = true
+			gap = 0
+			continue
+		}
+		if seenLight {
+			gap++
+			if gap > maxGap {
+				maxGap = gap
+			}
+		}
+	}
+	if !seenLight {
+		t.Fatalf("light tenant never started: %v", starts)
+	}
+	if maxGap > 1 {
+		t.Fatalf("light tenant starved for %d consecutive heavy starts (want ≤1): %v", maxGap, starts)
+	}
+}
+
+// TestPriorityClassesPreempt verifies class order beats tenant clocks.
+func TestPriorityClassesPreempt(t *testing.T) {
+	q := newFairQueue()
+	q.Push(qjob(1, "batcher", PriorityBatch))
+	q.Push(qjob(2, "norm", PriorityNormal))
+	q.Push(qjob(3, "rush", PriorityUrgent))
+	q.Push(qjob(4, "norm", PriorityNormal))
+	want := []string{"rush", "norm", "norm", "batcher"}
+	if got := drain(q); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("start order %v, want %v", got, want)
+	}
+}
+
+// TestIdleTenantCannotBankCredit: a tenant that sat idle while another
+// dispatched many jobs is caught up on entry, not handed a burst.
+func TestIdleTenantCannotBankCredit(t *testing.T) {
+	q := newFairQueue()
+	for i := 1; i <= 6; i++ {
+		q.Push(qjob(i, "busy", PriorityNormal))
+	}
+	for i := 0; i < 4; i++ {
+		if j := q.Next(fitsAll); j == nil || j.tenant != "busy" {
+			t.Fatalf("warmup start %d went to %v", i, j)
+		}
+	}
+	// newcomer enters from idle with clock 0; without catch-up it would
+	// own the next 4 starts in a row.
+	q.Push(qjob(7, "newcomer", PriorityNormal))
+	q.Push(qjob(8, "newcomer", PriorityNormal))
+	q.Push(qjob(9, "newcomer", PriorityNormal))
+	got := drain(q)
+	want := []string{"busy", "newcomer", "busy", "newcomer", "newcomer"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("start order %v, want %v", got, want)
+	}
+}
+
+// TestHeadOfLineSkipsNonFitting: a head job too big for the remaining
+// capacity is skipped in favor of other tenants, without reordering the
+// skipped tenant's own FIFO.
+func TestHeadOfLineSkipsNonFitting(t *testing.T) {
+	q := newFairQueue()
+	big := qjob(1, "alice", PriorityNormal)
+	big.cost = Cost{GPUs: 8}
+	small := qjob(2, "alice", PriorityNormal)
+	small.cost = Cost{GPUs: 1}
+	other := qjob(3, "bob", PriorityNormal)
+	other.cost = Cost{GPUs: 1}
+	q.Push(big)
+	q.Push(small)
+	q.Push(other)
+
+	fitsSmall := func(j *job) bool { return j.cost.GPUs <= 2 }
+	j := q.Next(fitsSmall)
+	if j == nil || j.id != other.id {
+		t.Fatalf("first fitting start = %+v, want bob's job (alice's head is too big, her FIFO must not reorder)", j)
+	}
+	if j = q.Next(fitsSmall); j != nil {
+		t.Fatalf("second start = %+v, want nil: alice's small job is behind her non-fitting head", j)
+	}
+	// Capacity frees up: alice's head dispatches, then her second job.
+	if j = q.Next(fitsAll); j == nil || j.id != big.id {
+		t.Fatalf("after capacity freed, start = %+v, want alice's head", j)
+	}
+	if j = q.Next(fitsAll); j == nil || j.id != small.id {
+		t.Fatalf("final start = %+v, want alice's second job", j)
+	}
+}
+
+// TestRemoveCanceledJob: canceling a queued job removes exactly it.
+func TestRemoveCanceledJob(t *testing.T) {
+	q := newFairQueue()
+	a := qjob(1, "alice", PriorityNormal)
+	b := qjob(2, "alice", PriorityNormal)
+	q.Push(a)
+	q.Push(b)
+	if !q.Remove(a.id) {
+		t.Fatal("Remove(queued job) = false")
+	}
+	if q.Remove(a.id) {
+		t.Fatal("Remove(already removed) = true")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	if j := q.Next(fitsAll); j == nil || j.id != b.id {
+		t.Fatalf("Next = %+v, want the surviving job", j)
+	}
+}

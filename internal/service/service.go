@@ -1,0 +1,669 @@
+// Package service is the multi-tenant discovery service: the long-running
+// serving layer that turns the durable supervised runner
+// (internal/harness) into an execution backend. Cohort discovery jobs are
+// submitted over HTTP (see http.go and cmd/multihitd), queued with
+// per-tenant fair-share scheduling and priority classes, admitted against
+// the simulated cluster's capacity via the gpusim cost model, executed by
+// harness.Run with a per-job crash-safe checkpoint store, observed live
+// through per-partition progress events (SSE and polling), and answered
+// from a fingerprint-keyed result cache when an identical submission has
+// already completed.
+//
+// Durability contract: a killed daemon loses at most the work since each
+// in-flight job's last checkpointed greedy step. On restart every
+// non-terminal job is re-enqueued and resumes from its own generational
+// store, completing bit-identically to an uninterrupted run (the harness
+// crash-invariance guarantee lifted to the serving layer).
+// docs/SERVICE.md specifies the API and the scheduling, admission,
+// caching, and resume semantics.
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ckptstore"
+	"repro/internal/gpusim"
+	"repro/internal/harness"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// DataDir is the root of the durable state (job specs, results,
+	// per-job checkpoint stores).
+	DataDir string
+	// Device is the simulated device model admission prices against;
+	// zero value means gpusim.V100().
+	Device gpusim.DeviceSpec
+	// ClusterGPUs is the simulated cluster capacity in devices; 0 means
+	// DefaultClusterGPUs.
+	ClusterGPUs int
+	// MaxQueued bounds the queue depth across tenants; 0 means
+	// DefaultMaxQueued.
+	MaxQueued int
+	// CacheEntries sizes the result cache; 0 means DefaultCacheEntries,
+	// negative disables caching.
+	CacheEntries int
+	// JobWorkers is the per-job engine worker count resolved into
+	// submissions that leave Workers unset; 0 means GOMAXPROCS. It is
+	// resolved at submission and persisted so a restarted daemon re-runs
+	// the job with the identical partition plan.
+	JobWorkers int
+	// CheckpointEvery is the per-job persistence cadence in greedy
+	// steps; 0 means 1 (every step — the tightest resume bound).
+	CheckpointEvery int
+	// Retain is the per-job checkpoint-store retention; 0 means the
+	// ckptstore default.
+	Retain int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultClusterGPUs  = 6 // one Summit node
+	DefaultMaxQueued    = 1024
+	DefaultCacheEntries = 128
+)
+
+func (c Config) withDefaults() Config {
+	if c.Device.SMs == 0 {
+		c.Device = gpusim.V100()
+	}
+	if c.ClusterGPUs == 0 {
+		c.ClusterGPUs = DefaultClusterGPUs
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = DefaultMaxQueued
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.JobWorkers == 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Service is the daemon state. Open, then serve its Handler (http.go);
+// Close checkpoints and parks every running job.
+type Service struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	jobs   map[string]*job
+	queue  *fairQueue
+	adm    admission
+	cache  *resultCache
+	nextID uint64
+}
+
+// Open validates the config, restores persisted jobs from DataDir —
+// terminal results repopulate the cache, in-flight jobs re-enter the
+// queue to resume from their checkpoint stores — and starts the dispatch
+// loop.
+func Open(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: Config.DataDir is required")
+	}
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ClusterGPUs < 1 {
+		return nil, fmt.Errorf("service: ClusterGPUs must be positive, got %d", cfg.ClusterGPUs)
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, jobsDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   map[string]*job{},
+		queue:  newFairQueue(),
+		adm:    admission{capacity: cfg.ClusterGPUs},
+		cache:  newResultCache(cfg.CacheEntries),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.restore(); err != nil {
+		cancel()
+		return nil, err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.dispatch()
+	}()
+	return s, nil
+}
+
+// restore rebuilds the job table from DataDir.
+func (s *Service) restore() error {
+	ids, next, err := scanJobDirs(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	s.nextID = next
+	for _, id := range ids {
+		dir := s.jobDir(id)
+		var pj persistedJob
+		if err := readJSONBounded(filepath.Join(dir, specFileName), &pj); err != nil {
+			s.cfg.Logf("service: skipping job %s: unreadable spec: %v", id, err)
+			continue
+		}
+		j, err := s.buildJob(id, pj.Spec)
+		if err != nil {
+			s.cfg.Logf("service: skipping job %s: %v", id, err)
+			continue
+		}
+		var pr persistedResult
+		switch rerr := readJSONBounded(filepath.Join(dir, resultFileName), &pr); {
+		case rerr == nil:
+			// Terminal: restore the outcome; successes re-seed the cache.
+			j.state = pr.terminalState()
+			j.result = pr.Result
+			close(j.done)
+			if j.state == StateSucceeded {
+				s.cache.Put(pr.Key, id, pr.Result)
+			}
+			s.jobs[id] = j
+		case os.IsNotExist(rerr):
+			if pj.Canceled {
+				// The cancel was observed but the terminal write never
+				// landed; finish the transition instead of resurrecting.
+				j.state = StateCanceled
+				j.result = &JobResult{Error: "canceled before completion"}
+				close(j.done)
+				s.jobs[id] = j
+				s.persistTerminal(j, StateCanceled, CacheKey{})
+				continue
+			}
+			// In flight when the previous daemon died: re-enqueue. The
+			// job resumes from its checkpoint store (if any generation
+			// was persisted) and re-scans from scratch otherwise.
+			s.jobs[id] = j
+			s.queue.Push(j)
+			s.cfg.Logf("service: restored %s (tenant %s) into the queue", id, j.tenant)
+		default:
+			s.cfg.Logf("service: skipping job %s: unreadable result: %v", id, rerr)
+		}
+	}
+	return nil
+}
+
+// buildJob materializes a job record from its spec: regenerates the
+// seeded cohort (deterministic, so fingerprints and partition plans are
+// restart-invariant), resolves options, and prices admission.
+func (s *Service) buildJob(id string, spec JobSpec) (*job, error) {
+	prio, err := ParsePriority(spec.Priority)
+	if err != nil {
+		return nil, err
+	}
+	cohort, err := spec.Cohort.Generate()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Options.Workers == 0 {
+		spec.Options.Workers = s.cfg.JobWorkers
+	}
+	opt, err := spec.Options.CoverOptions(spec.Cohort.Hits)
+	if err != nil {
+		return nil, err
+	}
+	opt, err = opt.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := EstimateCost(cohort, opt, s.cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	return &job{
+		id:          id,
+		tenant:      tenant,
+		priority:    prio,
+		spec:        spec,
+		dir:         s.jobDir(id),
+		cost:        cost,
+		state:       StateQueued,
+		submittedAt: time.Now(),
+		done:        make(chan struct{}),
+		cohort:      cohort,
+		opt:         opt,
+	}, nil
+}
+
+// Submit accepts one job. On a result-cache hit the returned status is
+// already terminal (StateSucceeded with Result.CachedFrom set) and no
+// scan runs; otherwise the job is persisted, queued, and dispatched
+// under fair share and admission.
+func (s *Service) Submit(spec JobSpec) (*JobStatus, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id := fmt.Sprintf(jobIDPattern, s.nextID)
+	s.nextID++
+	s.mu.Unlock()
+
+	j, err := s.buildJob(id, spec)
+	if err != nil {
+		return nil, err
+	}
+	if j.cost.GPUs > s.cfg.ClusterGPUs {
+		return nil, fmt.Errorf("%w: needs %d simulated GPUs, cluster has %d",
+			ErrOversized, j.cost.GPUs, s.cfg.ClusterGPUs)
+	}
+	key := CanonicalKey(j.cohort.Tumor, j.cohort.Normal, j.opt)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cached, from, ok := s.cache.Get(key); ok {
+		hit := *cached
+		hit.CachedFrom = from
+		j.state = StateSucceeded
+		j.result = &hit
+		j.endedAt = time.Now()
+		close(j.done)
+		s.jobs[id] = j
+		s.mu.Unlock()
+		if err := s.persistJob(j); err != nil {
+			return nil, err
+		}
+		s.persistTerminal(j, StateSucceeded, key)
+		s.cfg.Logf("service: %s answered from cache (produced by %s)", id, from)
+		return j.status(), nil
+	}
+	if s.queue.Len() >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.persistJob(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+
+	s.mu.Lock()
+	s.queue.Push(j)
+	s.cond.Signal()
+	s.mu.Unlock()
+	s.cfg.Logf("service: queued %s (tenant %s, %s, %d simulated GPUs)",
+		id, j.tenant, j.priority, j.cost.GPUs)
+	return j.status(), nil
+}
+
+// persistJob writes the job's spec file (crash point: a spec without a
+// result is an in-flight job to a restarted daemon).
+func (s *Service) persistJob(j *job) error {
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	j.mu.Lock()
+	pj := persistedJob{ID: j.id, Spec: j.spec, Canceled: j.userCancel}
+	j.mu.Unlock()
+	return writeJSONAtomic(filepath.Join(j.dir, specFileName), pj)
+}
+
+// dispatch is the scheduling loop: it starts the fair-share pick whenever
+// a job and the admission capacity for it are both available.
+func (s *Service) dispatch() {
+	for {
+		s.mu.Lock()
+		var next *job
+		for {
+			if s.closed || s.ctx.Err() != nil {
+				s.mu.Unlock()
+				return
+			}
+			next = s.queue.Next(func(j *job) bool { return s.adm.fits(j.cost) })
+			if next != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		s.adm.reserve(next.cost)
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func(j *job) {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				s.adm.release(j.cost)
+				s.cond.Signal()
+				s.mu.Unlock()
+			}()
+			s.runJob(j)
+		}(next)
+	}
+}
+
+// runJob drives one job through the durable runner.
+func (s *Service) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	j.mu.Lock()
+	if j.userCancel || j.state.Terminal() {
+		// Canceled between dequeue and start.
+		j.mu.Unlock()
+		s.finishJob(j, StateCanceled, &JobResult{Error: "canceled before start"})
+		return
+	}
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.setState(StateRunning)
+
+	store, err := ckptstore.Open(filepath.Join(j.dir, ckptDirName), ckptstore.Options{Retain: s.cfg.Retain})
+	if err != nil {
+		s.finishJob(j, StateFailed, &JobResult{Error: err.Error()})
+		return
+	}
+	gens, err := store.Generations()
+	if err != nil {
+		s.finishJob(j, StateFailed, &JobResult{Error: err.Error()})
+		return
+	}
+	hopt := harness.Options{
+		Cover:           j.opt,
+		Store:           store,
+		Resume:          len(gens) > 0,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		Deadline:        time.Duration(j.spec.DeadlineSec * float64(time.Second)),
+		OnEvent:         func(e harness.Event) { s.onHarnessEvent(j, e) },
+		OnProgress:      func(p harness.Progress) { s.onHarnessProgress(j, p) },
+	}
+	if hopt.Resume {
+		s.cfg.Logf("service: %s resuming from generation %d", j.id, gens[len(gens)-1])
+	}
+	res, err := harness.Run(ctx, j.cohort.Tumor, j.cohort.Normal, hopt)
+	if err != nil {
+		s.finishJob(j, StateFailed, &JobResult{Error: err.Error()})
+		return
+	}
+
+	result := resultFromHarness(res, j.cohort.GeneSymbols,
+		j.cohort.Tumor.Fingerprint(), j.cohort.Normal.Fingerprint(), res.KernelFingerprint)
+	j.mu.Lock()
+	j.resumed = j.resumed || res.Resumed
+	j.progress.ReplayedSteps = res.ReplayedSteps
+	userCancel := j.userCancel
+	j.mu.Unlock()
+
+	if res.Stop == harness.StopCanceled && !userCancel {
+		// The daemon is shutting down: the harness checkpointed the
+		// completed steps, so leave the job in flight on disk — the next
+		// daemon re-enqueues and resumes it. In-memory state returns to
+		// queued for observers that outlive the shutdown call.
+		j.setState(StateQueued)
+		s.cfg.Logf("service: %s parked at shutdown (generation %d)", j.id, res.PersistedGeneration)
+		return
+	}
+	state := StateForStop(res.Stop)
+	if userCancel {
+		state = StateCanceled
+	}
+	s.finishJob(j, state, result)
+}
+
+// finishJob records a terminal outcome. Persistence and the cache insert
+// happen BEFORE the terminal state transition: closing the job's done
+// channel is the signal observers (WaitJob, SSE terminal frame) rely on,
+// so everything the outcome implies must already be published when it
+// fires.
+func (s *Service) finishJob(j *job, state JobState, result *JobResult) {
+	j.mu.Lock()
+	j.result = result
+	j.mu.Unlock()
+	key := CanonicalKey(j.cohort.Tumor, j.cohort.Normal, j.opt)
+	s.persistTerminal(j, state, key)
+	if state == StateSucceeded {
+		s.mu.Lock()
+		s.cache.Put(key, j.id, result)
+		s.mu.Unlock()
+	}
+	j.setState(state)
+	s.cfg.Logf("service: %s finished %s (exit %d)", j.id, state, state.ExitCode())
+}
+
+// persistTerminal publishes the result file; failures are logged, not
+// fatal (the in-memory state is authoritative until the next restart).
+func (s *Service) persistTerminal(j *job, state JobState, key CacheKey) {
+	j.mu.Lock()
+	pr := persistedResult{State: state.String(), Key: key, Result: j.result}
+	j.mu.Unlock()
+	if err := writeJSONAtomic(filepath.Join(j.dir, resultFileName), pr); err != nil {
+		s.cfg.Logf("service: persisting %s result: %v", j.id, err)
+	}
+}
+
+// onHarnessEvent translates supervisor events into job events.
+func (s *Service) onHarnessEvent(j *job, e harness.Event) {
+	switch e.Kind {
+	case harness.EventCheckpoint:
+		j.mu.Lock()
+		j.progress.Generation = e.Generation
+		j.mu.Unlock()
+		j.publish(Event{Type: "checkpoint", JobID: j.id, Generation: e.Generation,
+			Detail: fmt.Sprintf("step %d", e.Step)})
+	case harness.EventResume:
+		j.mu.Lock()
+		j.resumed = true
+		j.mu.Unlock()
+		j.publish(Event{Type: "resume", JobID: j.id, Generation: e.Generation})
+	case harness.EventRetry:
+		j.publish(Event{Type: "retry", JobID: j.id,
+			Detail: fmt.Sprintf("partition [%d,%d) attempt %d: %v", e.Partition.Lo, e.Partition.Hi, e.Attempt, e.Err)})
+	case harness.EventQuarantine:
+		j.publish(Event{Type: "quarantine", JobID: j.id,
+			Detail: fmt.Sprintf("partition [%d,%d) after %d attempts: %v", e.Partition.Lo, e.Partition.Hi, e.Attempt, e.Err)})
+	}
+}
+
+// onHarnessProgress mirrors the per-partition tally into the polling
+// state and the event stream.
+func (s *Service) onHarnessProgress(j *job, p harness.Progress) {
+	j.mu.Lock()
+	j.progress.Step = p.Step
+	j.progress.DonePartitions = p.Done
+	j.progress.TotalPartitions = p.Total
+	j.progress.Unscanned = p.Unscanned
+	ps := j.progress
+	j.mu.Unlock()
+	j.publish(Event{Type: "progress", JobID: j.id, Progress: &ps})
+}
+
+// Get returns one job's status.
+func (s *Service) Get(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// List returns every job (optionally one tenant's), in submission order.
+func (s *Service) List(tenant string) []*JobStatus {
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if tenant == "" || j.tenant == tenant {
+			all = append(all, j)
+		}
+	}
+	s.mu.Unlock()
+	sortJobsByID(all)
+	out := make([]*JobStatus, len(all))
+	for i, j := range all {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Subscribe attaches a live event stream to a job.
+func (s *Service) Subscribe(id string) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch, cancel := j.subscribe()
+	return ch, cancel, nil
+}
+
+// Cancel stops a queued or running job. Terminal jobs return ErrTerminal.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return ErrTerminal
+	}
+	j.userCancel = true
+	cancel := j.cancel
+	queued := s.queue.Remove(id)
+	j.mu.Unlock()
+	s.mu.Unlock()
+
+	if queued {
+		s.finishJob(j, StateCanceled, &JobResult{Error: "canceled while queued"})
+		return nil
+	}
+	if cancel != nil {
+		cancel() // runJob observes userCancel and finishes as canceled
+	}
+	return nil
+}
+
+// Resume re-enqueues a job parked as partial by a per-leg deadline; its
+// next leg continues from the checkpoint store.
+func (s *Service) Resume(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	if j.state != StatePartial {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("service: job %s is %s, only partial jobs resume: %w", id, j.state, ErrTerminal)
+	}
+	j.state = StateQueued
+	j.result = nil
+	j.userCancel = false
+	j.done = make(chan struct{})
+	j.publishLocked(Event{Type: "state", JobID: j.id, State: StateQueued.String()})
+	j.mu.Unlock()
+	// Remove the stale terminal file so a crash between here and the next
+	// leg's terminal write restores the job as in-flight.
+	if err := os.Remove(filepath.Join(j.dir, resultFileName)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.queue.Push(j)
+	s.cond.Signal()
+	return j.status(), nil
+}
+
+// WaitJob blocks until the job reaches a terminal state (or ctx ends) and
+// returns its status.
+func (s *Service) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	done := j.done
+	j.mu.Unlock()
+	select {
+	case <-done:
+		return j.status(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Stats is the operator view.
+type Stats struct {
+	Queued      int        `json:"queued"`
+	Running     int        `json:"running"`
+	GPUsInUse   int        `json:"gpus_in_use"`
+	GPUCapacity int        `json:"gpu_capacity"`
+	Jobs        int        `json:"jobs"`
+	Cache       CacheStats `json:"cache"`
+}
+
+// Stats snapshots the queue, admission, and cache counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Queued:      s.queue.Len(),
+		Running:     s.adm.running,
+		GPUsInUse:   s.adm.inUse,
+		GPUCapacity: s.adm.capacity,
+		Jobs:        len(s.jobs),
+		Cache:       s.cache.Stats(),
+	}
+}
+
+// Close stops accepting work, cancels every running job — each
+// checkpoints its completed steps and parks for the next daemon — and
+// waits for the dispatch loop and executors to drain.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,372 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/harness"
+)
+
+// testSpec is the canonical small BRCA job the e2e tests submit.
+func testSpec() JobSpec {
+	return JobSpec{
+		Tenant:   "alice",
+		Cohort:   CohortSpec{Code: "BRCA", Genes: 40, Hits: 2, Seed: 11},
+		Options:  OptionsSpec{Workers: 2},
+		Priority: "normal",
+	}
+}
+
+// directRun computes the ground-truth result with an uninterrupted
+// harness run of the same spec.
+func directRun(t *testing.T, spec JobSpec) *harness.Result {
+	t.Helper()
+	cohort, err := spec.Cohort.Generate()
+	if err != nil {
+		t.Fatalf("generating cohort: %v", err)
+	}
+	opt, err := spec.Options.CoverOptions(spec.Cohort.Hits)
+	if err != nil {
+		t.Fatalf("resolving options: %v", err)
+	}
+	res, err := harness.Run(context.Background(), cohort.Tumor, cohort.Normal, harness.Options{Cover: opt})
+	if err != nil {
+		t.Fatalf("direct harness run: %v", err)
+	}
+	return res
+}
+
+// assertMatchesDirect pins the issue's acceptance bar: combos, cover, and
+// the Evaluated/Pruned work counters of a service job must be
+// bit-identical to the uninterrupted direct run.
+func assertMatchesDirect(t *testing.T, got *JobResult, want *harness.Result) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("job has no result")
+	}
+	if got.Error != "" {
+		t.Fatalf("job failed: %s", got.Error)
+	}
+	if len(got.Combos) != len(want.Steps) {
+		t.Fatalf("%d combos, want %d", len(got.Combos), len(want.Steps))
+	}
+	for i, c := range got.Combos {
+		ids := want.Steps[i].Combo.GeneIDs()
+		if len(c.GeneIDs) != len(ids) {
+			t.Fatalf("combo %d has %d genes, want %d", i, len(c.GeneIDs), len(ids))
+		}
+		for k := range ids {
+			if c.GeneIDs[k] != ids[k] {
+				t.Fatalf("combo %d gene %d = %d, want %d", i, k, c.GeneIDs[k], ids[k])
+			}
+		}
+		if c.F != want.Steps[i].Combo.F {
+			t.Fatalf("combo %d F = %v, want %v (must be bit-identical)", i, c.F, want.Steps[i].Combo.F)
+		}
+		if c.NewlyCovered != want.Steps[i].NewlyCovered {
+			t.Fatalf("combo %d NewlyCovered = %d, want %d", i, c.NewlyCovered, want.Steps[i].NewlyCovered)
+		}
+	}
+	if got.Covered != want.Covered || got.Uncoverable != want.Uncoverable {
+		t.Fatalf("cover %d/%d uncoverable, want %d/%d", got.Covered, got.Uncoverable, want.Covered, want.Uncoverable)
+	}
+	if got.Evaluated != want.Evaluated || got.Pruned != want.Pruned {
+		t.Fatalf("work counters Evaluated=%d Pruned=%d, want %d/%d (crash-invariance broken)",
+			got.Evaluated, got.Pruned, want.Evaluated, want.Pruned)
+	}
+	if got.Stop != harness.StopCompleted.String() {
+		t.Fatalf("stop = %q, want completed", got.Stop)
+	}
+}
+
+// TestServiceResumeMatchesDirectRun is the in-process half of the issue's
+// acceptance test: submit, stream progress, kill the daemon mid-job,
+// restart, and require the resumed job's result bit-identical to an
+// uninterrupted harness run — then require an identical resubmission to
+// be served from the result cache without scanning, including by a fresh
+// daemon that only ever saw the result on disk.
+func TestServiceResumeMatchesDirectRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second e2e")
+	}
+	spec := testSpec()
+	want := directRun(t, spec)
+	if len(want.Steps) < 2 {
+		t.Fatalf("test workload finds %d combos; need ≥2 so a mid-job kill lands between steps", len(want.Steps))
+	}
+
+	// Slow every partition scan down so the daemon is reliably killed
+	// between the first checkpoint and completion.
+	if err := failpoint.Enable("harness/partition", "delay(15ms)"); err != nil {
+		t.Fatalf("arming delay failpoint: %v", err)
+	}
+	defer failpoint.DisableAll()
+
+	cfg := Config{DataDir: t.TempDir(), JobWorkers: 2, Logf: t.Logf}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ch, cancelSub, err := svc.Subscribe(st.ID)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer cancelSub()
+
+	// Stream until the first persisted checkpoint, collecting progress
+	// evidence on the way.
+	sawProgress := false
+	deadline := time.After(30 * time.Second)
+stream:
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				t.Fatal("event stream closed before the first checkpoint — job finished too fast to test the kill")
+			}
+			switch e.Type {
+			case "progress":
+				if e.Progress == nil || e.Progress.TotalPartitions == 0 {
+					t.Fatalf("progress event without partition tally: %+v", e)
+				}
+				sawProgress = true
+			case "checkpoint":
+				break stream
+			}
+		case <-deadline:
+			t.Fatal("no checkpoint event within 30s")
+		}
+	}
+	if !sawProgress {
+		t.Fatal("no per-partition progress event before the first checkpoint")
+	}
+
+	// Kill the daemon mid-job; the run parks at its newest generation.
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := svc.Submit(spec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+
+	// Restart: the job must be re-enqueued, resumed from its checkpoint
+	// store, and completed bit-identically.
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopening: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := svc2.WaitJob(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if final.State != StateSucceeded.String() {
+		t.Fatalf("resumed job ended %s (result %+v), want succeeded", final.State, final.Result)
+	}
+	if !final.Resumed {
+		t.Fatal("restarted job did not resume from its checkpoint store")
+	}
+	assertMatchesDirect(t, final.Result, want)
+	if final.ExitCode == nil || *final.ExitCode != ExitOK {
+		t.Fatalf("exit code = %v, want %d", final.ExitCode, ExitOK)
+	}
+
+	// Identical resubmission: answered from the cache, no scan, terminal
+	// at submission, provenance pointing at the producing job.
+	before := svc2.Stats()
+	st2, err := svc2.Submit(spec)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if st2.State != StateSucceeded.String() {
+		t.Fatalf("resubmission state = %s, want immediate succeeded", st2.State)
+	}
+	if st2.Result == nil || st2.Result.CachedFrom != st.ID {
+		t.Fatalf("resubmission CachedFrom = %+v, want %s", st2.Result, st.ID)
+	}
+	assertMatchesDirect(t, st2.Result, want)
+	after := svc2.Stats()
+	if after.Cache.Hits != before.Cache.Hits+1 {
+		t.Fatalf("cache hits %d → %d, want one new hit", before.Cache.Hits, after.Cache.Hits)
+	}
+	if err := svc2.Close(); err != nil {
+		t.Fatalf("closing second daemon: %v", err)
+	}
+
+	// A third daemon never ran the job; its cache is re-seeded from the
+	// persisted results, so the resubmission still skips the scan.
+	svc3, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer svc3.Close()
+	st3, err := svc3.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit to third daemon: %v", err)
+	}
+	if st3.State != StateSucceeded.String() || st3.Result == nil || st3.Result.CachedFrom == "" {
+		t.Fatalf("restart-seeded cache missed: state=%s result=%+v", st3.State, st3.Result)
+	}
+	assertMatchesDirect(t, st3.Result, want)
+}
+
+// TestKernelizedSubmissionDoesNotHitPlainCache: the same cohort submitted
+// with and without Kernelize must run twice — their results differ
+// observably (kernel fingerprint, work-counter split).
+func TestKernelizedSubmissionDoesNotHitPlainCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two discovery jobs")
+	}
+	cfg := Config{DataDir: t.TempDir(), JobWorkers: 2, Logf: t.Logf}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer svc.Close()
+
+	plain := testSpec()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := svc.Submit(plain)
+	if err != nil {
+		t.Fatalf("submit plain: %v", err)
+	}
+	if _, err := svc.WaitJob(ctx, st.ID); err != nil {
+		t.Fatalf("waiting plain: %v", err)
+	}
+
+	kern := testSpec()
+	kern.Options.Kernelize = true
+	st2, err := svc.Submit(kern)
+	if err != nil {
+		t.Fatalf("submit kernelized: %v", err)
+	}
+	if st2.State == StateSucceeded.String() {
+		t.Fatal("kernelized submission was served from the plain run's cache entry")
+	}
+	final, err := svc.WaitJob(ctx, st2.ID)
+	if err != nil {
+		t.Fatalf("waiting kernelized: %v", err)
+	}
+	if final.Result == nil || final.Result.KernelFingerprint == 0 {
+		t.Fatalf("kernelized result has no kernel fingerprint: %+v", final.Result)
+	}
+	if final.Result.CachedFrom != "" {
+		t.Fatal("kernelized run claims cache provenance")
+	}
+	// Same discovery, distinct provenance: winners agree with the plain
+	// run, the cache keeps both entries.
+	if st := svc.Stats(); st.Cache.Entries != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (plain + kernelized)", st.Cache.Entries)
+	}
+}
+
+// TestCancelQueuedAndRunning covers both cancellation paths and the
+// terminal-cancel exit code.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a discovery job")
+	}
+	if err := failpoint.Enable("harness/partition", "delay(10ms)"); err != nil {
+		t.Fatalf("arming delay failpoint: %v", err)
+	}
+	defer failpoint.DisableAll()
+
+	// Capacity 1 GPU: the first job occupies the cluster, the second
+	// queues behind it.
+	cfg := Config{DataDir: t.TempDir(), JobWorkers: 1, ClusterGPUs: 1, Logf: t.Logf}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer svc.Close()
+
+	first := testSpec()
+	st1, err := svc.Submit(first)
+	if err != nil {
+		t.Fatalf("submit first: %v", err)
+	}
+	second := testSpec()
+	second.Cohort.Seed = 99 // distinct job, same footprint
+	st2, err := svc.Submit(second)
+	if err != nil {
+		t.Fatalf("submit second: %v", err)
+	}
+
+	// The second job is queued behind the first: cancel it there.
+	if err := svc.Cancel(st2.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	got, err := svc.Get(st2.ID)
+	if err != nil {
+		t.Fatalf("get canceled: %v", err)
+	}
+	if got.State != StateCanceled.String() {
+		t.Fatalf("queued cancel → %s, want canceled", got.State)
+	}
+	if got.ExitCode == nil || *got.ExitCode != ExitEarlyStop {
+		t.Fatalf("canceled exit code = %v, want %d", got.ExitCode, ExitEarlyStop)
+	}
+	if err := svc.Cancel(st2.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("double cancel = %v, want ErrTerminal", err)
+	}
+
+	// Cancel the running job too.
+	if err := svc.Cancel(st1.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := svc.WaitJob(ctx, st1.ID)
+	if err != nil {
+		t.Fatalf("waiting canceled job: %v", err)
+	}
+	if final.State != StateCanceled.String() {
+		t.Fatalf("running cancel → %s, want canceled", final.State)
+	}
+}
+
+// TestSubmitValidation covers the admission-side rejections.
+func TestSubmitValidation(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), ClusterGPUs: 1, Logf: t.Logf}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer svc.Close()
+
+	bad := testSpec()
+	bad.Cohort.Hits = 9
+	if _, err := svc.Submit(bad); err == nil {
+		t.Fatal("submit with hits=9 succeeded")
+	}
+	badPrio := testSpec()
+	badPrio.Priority = "extreme"
+	if _, err := svc.Submit(badPrio); err == nil {
+		t.Fatal("submit with unknown priority succeeded")
+	}
+	badScheme := testSpec()
+	badScheme.Options.Scheme = "17x3"
+	if _, err := svc.Submit(badScheme); err == nil {
+		t.Fatal("submit with unknown scheme succeeded")
+	}
+
+	// A 4-hit job over the full registry footprint wants more simulated
+	// GPUs than this 1-GPU cluster owns — reject at submission, never
+	// queue it.
+	huge := JobSpec{
+		Cohort:  CohortSpec{Code: "BRCA", Genes: 2000, Hits: 4, Seed: 1},
+		Options: OptionsSpec{Workers: 1},
+	}
+	if _, err := svc.Submit(huge); !errors.Is(err, ErrOversized) {
+		t.Fatalf("oversized submit = %v, want ErrOversized", err)
+	}
+}
