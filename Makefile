@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchfull reports examples faults chaos kernel-smoke kernel-bench serve-smoke clean
+.PHONY: all build vet lint test race bench benchfull reports examples faults chaos kernel-smoke kernel-bench sparse-smoke sparse-bench serve-smoke clean
 
 all: build vet lint test
 
@@ -65,6 +65,19 @@ kernel-smoke:
 # recorded in BENCH_7.json (see EXPERIMENTS.md E21).
 kernel-bench:
 	$(GO) run ./cmd/benchreport -exp kernel -benchout BENCH_7.json
+
+# Sparse-engine differential suite under the race detector (docs/SPARSE.md):
+# sparse = dense = exhaustive winners, byte-identical checkpoints, engine
+# validation and the intersection fuzz corpus — then a quick dense-vs-sparse
+# baseline run to prove the kernels still measure.
+sparse-smoke:
+	$(GO) test -race -count=1 -run 'Sparse|Engine|Intersect|Gallop' ./internal/sparsemat ./internal/cover ./internal/service
+	$(GO) run ./cmd/benchreport -exp sparse -quick
+
+# Full dense-vs-sparse-vs-auto engine baselines per cohort/scheme,
+# recorded in BENCH_9.json (see EXPERIMENTS.md E22).
+sparse-bench:
+	$(GO) run ./cmd/benchreport -exp sparse -benchout BENCH_9.json
 
 # Process-level discovery-service smoke test (docs/SERVICE.md): build the
 # real multihitd binary, submit a job over HTTP, SIGKILL the daemon

@@ -66,6 +66,7 @@ func experiments() []experiment {
 		{"hitcount", "2/3/4-hit comparison on a 4-hit cohort (Sec. I motivation)", expHitCount},
 		{"bench", "bound-and-prune before/after baselines (writes -benchout JSON)", expBench},
 		{"kernel", "kernelization before/after baselines (writes -benchout JSON)", expKernelBench},
+		{"sparse", "dense-vs-sparse engine baselines per cohort/scheme (writes -benchout JSON)", expSparse},
 	}
 }
 

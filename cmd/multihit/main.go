@@ -62,6 +62,7 @@ func main() {
 	normalMAF := flag.String("normal-maf", "", "read the normal cohort from a MAF file")
 	scheme := flag.String("scheme", "auto", "parallelization scheme: auto, pair, 2x1, 2x2, 3x1")
 	scheduler := flag.String("scheduler", "EA", "workload scheduler: EA or ED")
+	engine := flag.String("engine", "auto", "scan engine: auto (density-driven), dense, sparse; see docs/SPARSE.md")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 	splice := flag.Bool("splice", false, "enable BitSplicing of covered samples")
 	kernelize := flag.Bool("kernelize", false, "reduce the instance (dominated genes, duplicate sample columns) before enumeration; see docs/KERNELIZATION.md")
@@ -187,6 +188,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
 	}
+	eng, err := cover.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	opt.Engine = eng
 
 	if *topk > 0 {
 		combos, err := cover.FindTopK(cohort.Tumor, cohort.Normal, nil, opt, *topk)
@@ -314,6 +320,7 @@ func runSupervised(cohort *dataset.Cohort, opt cover.Options, dir string, resume
 		Covered:     res.Covered,
 		Uncoverable: res.Uncoverable,
 		Evaluated:   res.Evaluated,
+		Engine:      res.Options.Engine.String(),
 		Elapsed:     res.Elapsed,
 	}
 	for _, step := range res.Steps {

@@ -34,6 +34,7 @@ func main() {
 	cancer := flag.String("cancer", "BRCA", "workload cohort: BRCA or ACC")
 	schemeFlag := flag.String("scheme", "3x1", "kernel scheme: 2x1, 2x2, 3x1")
 	scheduler := flag.String("scheduler", "EA", "EA or ED")
+	engineFlag := flag.String("engine", "auto", "scan engine to report provenance for: auto, dense, sparse (docs/SPARSE.md)")
 	iterations := flag.Int("iterations", 0, "override cover-loop iterations (0 = workload default)")
 	profile := flag.Bool("profile", false, "print per-GPU utilization and rank ledger for -mode run")
 	faults := flag.Bool("faults", false, "inject faults and price recovery (run and campaign modes, see docs/FAULTS.md)")
@@ -108,6 +109,17 @@ func main() {
 		fmt.Printf("kernelize: measured gene shrink %.3f on a %d-gene seeded cohort; pricing G=%d -> %d\n",
 			frac, *kernelSample, w.Genes, w.KernelGenes)
 	}
+
+	// Engine provenance: the performance model prices the dense word sweep
+	// (the paper's GPU kernel); the -engine flag reports what the engine's
+	// occupancy heuristic would actually run on this workload, measured on
+	// the same seeded reduced-scale cohort the -kernelize shrink uses.
+	resolved, meanRow, err := resolveEngine(*cancer, *engineFlag, scheme, *kernelSample, *kernelSeed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("engine: %s (requested %s, measured row occupancy %.2f on a %d-gene seeded cohort); the model prices the dense sweep — see BENCH_9.json for measured sparse speedups\n",
+		resolved, *engineFlag, meanRow, *kernelSample)
 
 	nodes, err := parseNodes(*nodesFlag)
 	if err != nil {
@@ -218,6 +230,40 @@ func kernelShrink(cancer string, genes int, seed int64) (float64, error) {
 		return 0, err
 	}
 	return float64(kern.Tumor.Genes()) / float64(cohort.Tumor.Genes()), nil
+}
+
+// resolveEngine reports which scan engine the cover layer's row-occupancy
+// heuristic picks for this workload: it regenerates the seeded
+// reduced-scale stand-in cohort and runs the real cover.ResolveEngine
+// over it, so the provenance line matches what `multihit -engine auto`
+// would execute on the same data. The returned float is the cohort's
+// mean row occupancy (set samples per gene row), the quantity the
+// heuristic compares against cover.SparseCrossover.
+func resolveEngine(cancer, engine string, scheme cover.Scheme, genes int, seed int64) (cover.Engine, float64, error) {
+	req, err := cover.ParseEngine(engine)
+	if err != nil {
+		return req, 0, err
+	}
+	spec, err := dataset.ByCode(cancer)
+	if err != nil {
+		return req, 0, err
+	}
+	spec = spec.Scaled(genes)
+	cohort, err := dataset.Generate(spec, seed)
+	if err != nil {
+		return req, 0, err
+	}
+	hits := 4
+	if scheme == cover.Scheme2x1 {
+		hits = 3
+	}
+	opt, err := cover.Options{Hits: hits, Scheme: scheme, Engine: req}.Normalized()
+	if err != nil {
+		return req, 0, err
+	}
+	rows := float64(cohort.Tumor.Genes() + cohort.Normal.Genes())
+	meanRow := float64(cohort.Tumor.PopCount()+cohort.Normal.PopCount()) / rows
+	return cover.ResolveEngine(opt, cohort.Tumor, cohort.Normal), meanRow, nil
 }
 
 func parseNodes(s string) ([]int, error) {

@@ -205,7 +205,12 @@ func reportReachable(pass *analysis.Pass, infos map[*types.Func]*fnInfo, fn *typ
 func isEntryPoint(path string, fn *types.Func) bool {
 	switch analysis.PathTail(path) {
 	case "cover":
-		return strings.HasPrefix(fn.Name(), "kernel")
+		// The sparse merge kernels (sparse2x1 ... sparse3x1) and their
+		// prefix helpers share the dense kernels' invariant: setup
+		// (newSparseEnv, ensureSparse) may allocate, the scan may not.
+		return strings.HasPrefix(fn.Name(), "kernel") ||
+			strings.HasPrefix(fn.Name(), "sparse") ||
+			strings.HasPrefix(fn.Name(), "solveSparse")
 	case "kernelize":
 		// kernelSubset is the dominance pass's inner word sweep — it runs
 		// O(G²) times per reduction and must stay allocation-free like the
@@ -213,6 +218,14 @@ func isEntryPoint(path string, fn *types.Func) bool {
 		return strings.HasPrefix(fn.Name(), "kernel")
 	case "bitmat":
 		for _, prefix := range []string{"PopAnd", "AndWords", "AndPop", "AndInto", "ComboPop", "ComboVec", "RowPopCount"} {
+			if strings.HasPrefix(fn.Name(), prefix) {
+				return true
+			}
+		}
+	case "sparsemat":
+		// The merge kernels the sparse scan engine is built on; FromBitmat
+		// and the sizing accessors are per-pass setup and exempt.
+		for _, prefix := range []string{"Intersect", "Count", "Filter", "gallop", "Row"} {
 			if strings.HasPrefix(fn.Name(), prefix) {
 				return true
 			}

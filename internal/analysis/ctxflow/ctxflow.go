@@ -79,7 +79,9 @@ var reportScope = map[string]bool{
 }
 
 // longRunningSeeds are the cover functions seeded as LongRunning by name
-// (besides the ^kernel entry points).
+// (besides the ^kernel entry points). The sparse merge kernels are
+// partition-sized work like their dense ^kernel siblings; the other
+// sparse* helpers are per-prefix and deliberately not seeded.
 var longRunningSeeds = map[string]bool{
 	"FindBest":         true,
 	"FindBestCtx":      true,
@@ -88,6 +90,10 @@ var longRunningSeeds = map[string]bool{
 	"Run":              true,
 	"RunCtx":           true,
 	"ScanPartition":    true,
+	"sparse2x1":        true,
+	"sparse2x2":        true,
+	"sparse1x3":        true,
+	"sparse3x1":        true,
 }
 
 func run(pass *analysis.Pass) error {

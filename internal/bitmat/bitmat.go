@@ -306,16 +306,22 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	return true
 }
 
-// Density returns the fraction of set bits.
-func (m *Matrix) Density() float64 {
-	if m.genes == 0 || m.samples == 0 {
-		return 0
-	}
+// PopCount returns the total number of set bits across the matrix.
+func (m *Matrix) PopCount() int {
 	n := 0
 	for g := 0; g < m.genes; g++ {
 		n += m.RowPopCount(g)
 	}
-	return float64(n) / (float64(m.genes) * float64(m.samples))
+	return n
+}
+
+// Density returns the fraction of set bits — the statistic the sparse
+// engine's Auto heuristic keys on.
+func (m *Matrix) Density() float64 {
+	if m.genes == 0 || m.samples == 0 {
+		return 0
+	}
+	return float64(m.PopCount()) / (float64(m.genes) * float64(m.samples))
 }
 
 // Splice returns a new matrix with every column whose bit is set in remove
@@ -437,14 +443,35 @@ func AndWords(dst, a, b []uint64) {
 // result. The cover kernels fold their loop-invariant prefix rows with
 // this instead of AndWords so the prefix tumor count — the input to the
 // bound-and-prune upper bound — comes out of the fold for free.
+// The loop is unrolled by 4 (scalar tail) so the fold issues four
+// independent AND+POPCNT chains per iteration instead of serializing on
+// one accumulator — this is the hot instruction of the dense scan, and
+// BenchmarkAndWordsPop guards the unroll.
 func AndWordsPop(dst, a, b []uint64) int {
-	n := 0
-	for w := range dst {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	n0, n1, n2, n3 := 0, 0, 0, 0
+	w := 0
+	for ; w+4 <= len(dst); w += 4 {
+		v0 := a[w] & b[w]
+		v1 := a[w+1] & b[w+1]
+		v2 := a[w+2] & b[w+2]
+		v3 := a[w+3] & b[w+3]
+		dst[w] = v0
+		dst[w+1] = v1
+		dst[w+2] = v2
+		dst[w+3] = v3
+		n0 += bits.OnesCount64(v0)
+		n1 += bits.OnesCount64(v1)
+		n2 += bits.OnesCount64(v2)
+		n3 += bits.OnesCount64(v3)
+	}
+	for ; w < len(dst); w++ {
 		v := a[w] & b[w]
 		dst[w] = v
-		n += bits.OnesCount64(v)
+		n0 += bits.OnesCount64(v)
 	}
-	return n
+	return n0 + n1 + n2 + n3
 }
 
 // Vec is a bit-packed vector over samples, used for the active-tumor mask

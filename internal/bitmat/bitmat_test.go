@@ -2,6 +2,7 @@ package bitmat
 
 import (
 	"bytes"
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -546,5 +547,54 @@ func TestBufferLengthPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestAndWordsPopUnrolled pins the unrolled fold to a naive reference on
+// lengths straddling every unroll boundary (0..4 remainder tails).
+func TestAndWordsPopUnrolled(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, words := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 64, 127} {
+		a := make([]uint64, words)
+		b := make([]uint64, words)
+		for i := range a {
+			a[i] = rng.Uint64()
+			b[i] = rng.Uint64()
+		}
+		dst := make([]uint64, words)
+		got := AndWordsPop(dst, a, b)
+		want := 0
+		for i := range a {
+			v := a[i] & b[i]
+			if dst[i] != v {
+				t.Fatalf("words=%d: dst[%d] = %#x want %#x", words, i, dst[i], v)
+			}
+			want += bits.OnesCount64(v)
+		}
+		if got != want {
+			t.Fatalf("words=%d: popcount %d want %d", words, got, want)
+		}
+	}
+}
+
+func TestMatrixPopCount(t *testing.T) {
+	m := New(5, 130)
+	m.Set(0, 0)
+	m.Set(0, 129)
+	m.Set(4, 64)
+	if got := m.PopCount(); got != 3 {
+		t.Fatalf("PopCount = %d want 3", got)
+	}
+}
+
+// BenchmarkAndWordsPop guards the unroll-by-4 fold — the hot instruction
+// of the dense scan path (BENCH_9.json's dense baseline).
+func BenchmarkAndWordsPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	m := FromBools(randomGrid(rng, 64, 911, 0.3))
+	dst := make([]uint64, m.Words())
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		AndWordsPop(dst, m.Row(n%63), m.Row(n%63+1))
 	}
 }

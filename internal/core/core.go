@@ -54,6 +54,9 @@ type Result struct {
 	Uncoverable int
 	// Evaluated is the number of combinations scored across iterations.
 	Evaluated uint64
+	// Engine is the resolved scan engine ("dense" or "sparse") —
+	// provenance only; both engines return bit-identical combinations.
+	Engine string
 	// Elapsed is the discovery wall-clock time.
 	Elapsed time.Duration
 }
@@ -69,6 +72,7 @@ func Discover(c *dataset.Cohort, opt cover.Options) (*Result, error) {
 		Covered:     res.Covered,
 		Uncoverable: res.Uncoverable,
 		Evaluated:   res.Evaluated,
+		Engine:      res.Options.Engine.String(),
 		Elapsed:     res.Elapsed,
 	}
 	for _, step := range res.Steps {

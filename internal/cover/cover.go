@@ -172,6 +172,16 @@ type Options struct {
 	// combinations count as Pruned, so Scanned stays C(G, h) per pass.
 	// Mutually exclusive with BitSplice (the kernel owns the sample axis).
 	Kernelize bool
+	// Engine selects the scan representation (docs/SPARSE.md):
+	// EngineAuto (zero value) measures the instance's density after
+	// kernelization and picks per scheme, EngineDense forces the packed
+	// bit-matrix kernels, EngineSparse forces the sorted-index merge
+	// kernels. Purely an execution knob: winners, Counts, and checkpoints
+	// are bit-identical across engines, so checkpoints do not record it
+	// and the service result cache canonicalizes it away. Sparse requires
+	// a prunable scheme (2x1/2x2/3x1/1x3) and is mutually exclusive with
+	// BitSplice (ErrSparseBitSplice).
+	Engine Engine
 	// NoPrune disables the bound-and-prune layer (docs/PRUNING.md): the
 	// process-wide shared incumbent, the kernels' prefix upper-bound
 	// checks, and the per-iteration gene compaction of BitSplice runs.
@@ -242,6 +252,15 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Kernelize && o.BitSplice {
 		return o, fmt.Errorf("cover: Kernelize and BitSplice are mutually exclusive")
+	}
+	if o.Engine < EngineAuto || o.Engine > EngineSparse {
+		return o, fmt.Errorf("cover: unknown engine %d", o.Engine)
+	}
+	if o.Engine == EngineSparse && o.BitSplice {
+		return o, ErrSparseBitSplice
+	}
+	if o.Engine == EngineSparse && !o.Scheme.sparseCapable() {
+		return o, fmt.Errorf("cover: scheme %s has no sparse kernel (only 2x1, 2x2, 3x1 and 1x3 do)", o.Scheme)
 	}
 	return o, nil
 }
@@ -345,11 +364,19 @@ func RunCtx(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Re
 			return nil, kerr
 		}
 		res.KernelFingerprint = kern.Fingerprint()
+		// Auto resolves against the post-kernelization matrices — the ones
+		// the kernels actually scan — and the resolved engine lands in
+		// res.Options as provenance.
+		opt.Engine = ResolveEngine(opt, kern.Tumor, kern.Normal)
+		res.Options = opt
 		kactive := bitmat.AllOnes(kern.Tumor.Samples())
 		err = greedyKernelized(ctx, tumor, normal, kern, kactive, reduce.None, opt, res)
 		res.Elapsed = time.Since(start)
 		return res, err
 	}
+
+	opt.Engine = ResolveEngine(opt, tumor, normal)
+	res.Options = opt
 
 	// Normal-side counts never change across iterations.
 	cur := tumor
@@ -675,6 +702,10 @@ func FindBestRangeCtx(ctx context.Context, tumor, normal *bitmat.Matrix, active 
 		env.shared = reduce.NewSharedBest()
 	}
 	s := newKernelScratch(tumor.Words(), normal.Words())
+	if resolveEngine(&opt, tumor, normal) == EngineSparse {
+		env.sparse = newSparseEnv(tumor, normal, active, nil, nil)
+		s.ensureSparse(env.sparse)
+	}
 	best, n := runKernel(ctx, env, opt, sched.Partition{Lo: lo, Hi: hi}, s)
 	return best, n, ctx.Err()
 }
@@ -727,6 +758,9 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 	if !opt.NoPrune && opt.Scheme.prunable() {
 		env.shared = reduce.NewSharedBest()
 	}
+	if resolveEngine(&opt, tumor, normal) == EngineSparse {
+		env.sparse = newSparseEnv(tumor, normal, active, tw, nw)
+	}
 
 	bests := make([]reduce.Combo, len(parts))
 	for i := range bests {
@@ -742,6 +776,9 @@ func findBest(ctx context.Context, tumor *bitmat.Matrix, active *bitmat.Vec, nor
 			// One scratch per worker for its whole lifetime — the kernels
 			// themselves allocate nothing per partition.
 			s := newKernelScratch(tumor.Words(), normal.Words())
+			if env.sparse != nil {
+				s.ensureSparse(env.sparse)
+			}
 			for {
 				if ctx.Err() != nil {
 					return
@@ -786,6 +823,9 @@ type kernelEnv struct {
 	denom  float64
 	nn     int
 	shared *reduce.SharedBest
+	// sparse, when non-nil, carries the CSR views and routes the prunable
+	// schemes through the sparse merge kernels (docs/SPARSE.md).
+	sparse *sparseEnv
 }
 
 // newKernelEnv builds the worker environment. With normal-side weights the
@@ -948,13 +988,29 @@ func runKernel(ctx context.Context, env *kernelEnv, opt Options, part sched.Part
 	case SchemePair:
 		n.Evaluated = kernelPair(env, part, observe)
 	case Scheme2x1:
-		n = kernel2x1(env, opt, part, s, observe)
+		if env.sparse != nil {
+			n = sparse2x1(env, part, s, observe)
+		} else {
+			n = kernel2x1(env, opt, part, s, observe)
+		}
 	case Scheme2x2:
-		n = kernel2x2(env, part, s, observe)
+		if env.sparse != nil {
+			n = sparse2x2(env, part, s, observe)
+		} else {
+			n = kernel2x2(env, part, s, observe)
+		}
 	case Scheme3x1:
-		n = kernel3x1(env, part, s, observe)
+		if env.sparse != nil {
+			n = sparse3x1(env, part, s, observe)
+		} else {
+			n = kernel3x1(env, part, s, observe)
+		}
 	case Scheme1x3:
-		n = kernel1x3(env, part, s, observe)
+		if env.sparse != nil {
+			n = sparse1x3(env, part, s, observe)
+		} else {
+			n = kernel1x3(env, part, s, observe)
+		}
 	case Scheme4x1:
 		n.Evaluated = kernel4x1(env, part, observe)
 	}

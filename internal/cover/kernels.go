@@ -34,6 +34,18 @@ type kernelScratch struct {
 	// hold depth-2/depth-3 tumor prefix folds; n2/n3 the normal-side ones.
 	t1, t2, t3 []uint64
 	n2, n3     []uint64
+	// st1/st2/st3 and sn2/sn3 are the sparse engine's prefix index lists
+	// (tumor depth-1/2/3 and normal depth-2/3 merges). They stay nil on
+	// dense passes and are sized by ensureSparse at worker setup.
+	st1, st2, st3 []int32
+	sn2, sn3      []int32
+	// spBoundKey/spTPStar memoize sparseMinTP's threshold: the smallest
+	// surviving tumor count only changes when the shared bound rises, so
+	// each worker re-solves it on a bound change and otherwise answers
+	// prefix prune queries with one atomic load and one compare.
+	spBoundKey uint64
+	spTPStar   int
+	spBoundOK  bool
 	// blockBests is runKernel's reusable block-reduction output.
 	blockBests []reduce.Combo
 }

@@ -126,6 +126,13 @@ func ScanPartitionWeighted(tumor, normal *bitmat.Matrix, active *bitmat.Vec, tw,
 		}
 	}
 	s := newKernelScratch(tumor.Words(), normal.Words())
+	if resolveEngine(&opt, tumor, normal) == EngineSparse {
+		// The CSR rebuild is per call here; the supervised runner resolves
+		// the engine once per run (harness.Run), so an Auto job does not
+		// flip engines between partitions of one pass.
+		env.sparse = newSparseEnv(tumor, normal, active, tw, nw)
+		s.ensureSparse(env.sparse)
+	}
 	best, n := runKernel(context.Background(), env, opt, part, s)
 	return best, n, nil
 }

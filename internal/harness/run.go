@@ -84,6 +84,18 @@ func Run(ctx context.Context, tumor, normal *bitmat.Matrix, opt Options) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	// Resolve EngineAuto once, against the matrices the partitions will
+	// actually scan (the kernelized ones under Kernelize), so every
+	// partition of every leg — including resumed legs — runs the same
+	// engine, and the result's Options record it as provenance. The
+	// engine is an execution knob: checkpoints don't carry it, so a run
+	// checkpointed under one engine may legitimately resume under the
+	// other with bit-identical output.
+	if kern != nil {
+		copt.Engine = cover.ResolveEngine(copt, kern.Tumor, kern.Normal)
+	} else {
+		copt.Engine = cover.ResolveEngine(copt, tumor, normal)
+	}
 
 	r := &run{
 		opt:        opt,

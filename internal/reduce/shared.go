@@ -81,6 +81,20 @@ func (s *SharedBest) ShouldPrune(ub float64) bool {
 	return sortKey(ub) < s.bound.Load()
 }
 
+// BoundKey returns a snapshot of the incumbent bound in its sortKey
+// encoding, for callers that take many prune decisions against one
+// consistent bound (the sparse engine's merge-threshold search): compare
+// SortKey(ub) < BoundKey() — exactly ShouldPrune against the snapshot —
+// without an atomic load per probe. The bound only rises, so a snapshot
+// is always a valid (possibly slightly stale) incumbent: staleness can
+// only under-prune, never skip a winner.
+func (s *SharedBest) BoundKey() uint64 {
+	return s.bound.Load()
+}
+
+// SortKey exposes the order-preserving float encoding BoundKey uses.
+func SortKey(f float64) uint64 { return sortKey(f) }
+
 // Best returns the current incumbent.
 func (s *SharedBest) Best() Combo {
 	s.mu.Lock()

@@ -36,7 +36,10 @@ type CacheKey struct {
 }
 
 // CanonicalKey builds the cache key for a submission. opt must be
-// normalized; fields that cannot change the result are dropped.
+// normalized; fields that cannot change the result are dropped —
+// including Engine: the sparse and dense scan paths return bit-identical
+// covers (the sparse differential suite pins this), so a dense-engine
+// submission is answered by a sparse-engine result and vice versa.
 func CanonicalKey(tumor, normal *bitmat.Matrix, opt cover.Options) CacheKey {
 	return CacheKey{
 		TumorFP:       tumor.Fingerprint(),

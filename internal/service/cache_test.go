@@ -48,6 +48,26 @@ func TestCanonicalKeyDropsExecutionKnobs(t *testing.T) {
 	}
 }
 
+// TestCanonicalKeyDropsEngine: the scan engine returns bit-identical
+// covers either way, so dense and sparse submissions of the same cohort
+// share one cache entry.
+func TestCanonicalKeyDropsEngine(t *testing.T) {
+	tumor, normal := testMatrices(0)
+	norm := func(e cover.Engine) cover.Options {
+		opt, err := cover.Options{Hits: 3, Engine: e}.Normalized()
+		if err != nil {
+			t.Fatalf("Normalized: %v", err)
+		}
+		return opt
+	}
+	dense := CanonicalKey(tumor, normal, norm(cover.EngineDense))
+	sparse := CanonicalKey(tumor, normal, norm(cover.EngineSparse))
+	auto := CanonicalKey(tumor, normal, norm(cover.EngineAuto))
+	if dense != sparse || dense != auto {
+		t.Fatal("engine selection fragmented the cache key")
+	}
+}
+
 // TestCanonicalKeySeparatesKernelizeAndInputs: Kernelize changes the
 // observable payload (provenance fingerprint, Evaluated/Pruned split), so
 // kernelized and plain runs must occupy distinct entries; and different

@@ -93,12 +93,16 @@ func (c CohortSpec) Generate() (*dataset.Cohort, error) {
 // daemon's per-job worker count at submission so a restarted daemon
 // re-runs the job with the identical partition plan.
 type OptionsSpec struct {
-	Alpha         float64 `json:"alpha,omitempty"`
-	Scheme        string  `json:"scheme,omitempty"`
-	Scheduler     string  `json:"scheduler,omitempty"`
-	Workers       int     `json:"workers,omitempty"`
-	Kernelize     bool    `json:"kernelize,omitempty"`
-	MaxIterations int     `json:"max_iterations,omitempty"`
+	Alpha     float64 `json:"alpha,omitempty"`
+	Scheme    string  `json:"scheme,omitempty"`
+	Scheduler string  `json:"scheduler,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	Kernelize bool    `json:"kernelize,omitempty"`
+	// Engine is "auto" (default), "dense" or "sparse" (docs/SPARSE.md).
+	// An execution knob: it changes scan speed, never results, so the
+	// result cache canonicalizes it away like Workers and Scheduler.
+	Engine        string `json:"engine,omitempty"`
+	MaxIterations int    `json:"max_iterations,omitempty"`
 }
 
 // CoverOptions resolves the wire options against the cohort's hit count.
@@ -132,6 +136,11 @@ func (o OptionsSpec) CoverOptions(hits int) (cover.Options, error) {
 	default:
 		return opt, fmt.Errorf("service: unknown scheduler %q", o.Scheduler)
 	}
+	engine, err := cover.ParseEngine(strings.ToLower(strings.TrimSpace(o.Engine)))
+	if err != nil {
+		return opt, err
+	}
+	opt.Engine = engine
 	return opt, nil
 }
 

@@ -635,12 +635,20 @@ type Stats struct {
 	GPUCapacity int        `json:"gpu_capacity"`
 	Jobs        int        `json:"jobs"`
 	Cache       CacheStats `json:"cache"`
+	// Engines counts jobs by their requested scan engine ("auto",
+	// "dense", "sparse") — the spec-level knob, since the per-instance
+	// Auto resolution happens inside the engine after kernelization.
+	Engines map[string]int `json:"engines"`
 }
 
 // Stats snapshots the queue, admission, and cache counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	engines := make(map[string]int, 3)
+	for _, j := range s.jobs {
+		engines[j.opt.Engine.String()]++
+	}
 	return Stats{
 		Queued:      s.queue.Len(),
 		Running:     s.adm.running,
@@ -648,6 +656,7 @@ func (s *Service) Stats() Stats {
 		GPUCapacity: s.adm.capacity,
 		Jobs:        len(s.jobs),
 		Cache:       s.cache.Stats(),
+		Engines:     engines,
 	}
 }
 

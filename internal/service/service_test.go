@@ -370,3 +370,58 @@ func TestSubmitValidation(t *testing.T) {
 		t.Fatalf("oversized submit = %v, want ErrOversized", err)
 	}
 }
+
+// TestEngineSubmissionsShareCacheEntry: the scan engine is an execution
+// knob, so a sparse-engine resubmission of a cohort first solved with the
+// dense engine is answered from the cache without scanning — and /v1/stats
+// tallies the jobs by their requested engine either way.
+func TestEngineSubmissionsShareCacheEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a discovery job")
+	}
+	cfg := Config{DataDir: t.TempDir(), JobWorkers: 2, Logf: t.Logf}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer svc.Close()
+
+	dense := JobSpec{
+		Tenant:  "alice",
+		Cohort:  CohortSpec{Code: "BRCA", Genes: 30, Hits: 3, Seed: 5},
+		Options: OptionsSpec{Workers: 2, Engine: "dense"},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := svc.Submit(dense)
+	if err != nil {
+		t.Fatalf("submit dense: %v", err)
+	}
+	if _, err := svc.WaitJob(ctx, st.ID); err != nil {
+		t.Fatalf("waiting dense: %v", err)
+	}
+
+	sparse := dense
+	sparse.Options.Engine = "sparse"
+	st2, err := svc.Submit(sparse)
+	if err != nil {
+		t.Fatalf("submit sparse: %v", err)
+	}
+	if st2.State != StateSucceeded.String() {
+		t.Fatalf("sparse resubmission state = %s, want immediate cache hit", st2.State)
+	}
+	if st2.Result == nil || st2.Result.CachedFrom != st.ID {
+		t.Fatalf("sparse resubmission CachedFrom = %+v, want %s", st2.Result, st.ID)
+	}
+
+	stats := svc.Stats()
+	if stats.Engines["dense"] != 1 || stats.Engines["sparse"] != 1 {
+		t.Fatalf("engine tally = %v, want one dense and one sparse job", stats.Engines)
+	}
+
+	bad := dense
+	bad.Options.Engine = "gpu"
+	if _, err := svc.Submit(bad); err == nil {
+		t.Fatal("submit with unknown engine succeeded")
+	}
+}

@@ -1,0 +1,373 @@
+// Package sparsemat implements the sparse counterpart of internal/bitmat:
+// a per-gene sorted-sample-index (CSR-style) representation of the same
+// gene×sample mutation matrix, plus the intersection kernels the sparse
+// scan engine in internal/cover is built on.
+//
+// Real mutation matrices are extremely sparse — a typical gene row is
+// mutated in a few percent of samples — so the dense word sweep pays for
+// S/64 words per AND even when almost every word is zero. The sparse path
+// stores, per gene, the sorted []int32 of sample columns that carry a
+// mutation (one flat backing array, one offset per row), and evaluates a
+// combination by merging those lists. A depth-d prefix intersection
+// shrinks multiplicatively (≈ densityᵈ·S elements), so the innermost loop
+// of a scan touches O(|prefix|) entries instead of O(S/64) words — the
+// order-of-magnitude lever the sparsity-driven follow-on work to the
+// source paper identifies (see docs/SPARSE.md).
+//
+// The kernels never materialize bit words: they return intersection sizes
+// (optionally weighted by per-column multiplicities, for kernelized
+// instances) and can short-circuit a merge as soon as the running count
+// plus the remaining potential falls below a caller-supplied minimum —
+// the hook internal/cover uses to stop folding a prefix the moment it can
+// no longer beat the shared incumbent's prune bound.
+package sparsemat
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitmat"
+)
+
+// Matrix is the CSR-style sparse view of a gene×sample bit matrix: row g's
+// sorted sample indices live in idx[rowStart[g]:rowStart[g+1]]. The zero
+// value is not usable; construct with FromBitmat.
+type Matrix struct {
+	genes   int
+	samples int
+	// rowStart has genes+1 entries; idx is the flat backing array of
+	// sorted sample columns, one contiguous run per gene row.
+	rowStart []int
+	idx      []int32
+}
+
+// FromBitmat builds the sparse representation of a packed bit matrix in
+// one pass over its words. The result shares nothing with the input.
+func FromBitmat(m *bitmat.Matrix) *Matrix {
+	g := m.Genes()
+	sm := &Matrix{
+		genes:    g,
+		samples:  m.Samples(),
+		rowStart: make([]int, g+1),
+	}
+	nnz := 0
+	for i := 0; i < g; i++ {
+		nnz += m.RowPopCount(i)
+	}
+	sm.idx = make([]int32, nnz)
+	pos := 0
+	for i := 0; i < g; i++ {
+		sm.rowStart[i] = pos
+		for w, word := range m.Row(i) {
+			base := int32(w * bitmat.WordBits)
+			for word != 0 {
+				sm.idx[pos] = base + int32(bits.TrailingZeros64(word))
+				pos++
+				word &= word - 1
+			}
+		}
+	}
+	sm.rowStart[g] = pos
+	return sm
+}
+
+// Genes returns the number of rows.
+func (m *Matrix) Genes() int { return m.genes }
+
+// Samples returns the number of logical columns.
+func (m *Matrix) Samples() int { return m.samples }
+
+// NNZ returns the total number of stored indices (set bits).
+func (m *Matrix) NNZ() int { return len(m.idx) }
+
+// Density returns NNZ divided by the genes×samples capacity, the
+// set-bit fraction the Auto engine heuristic keys on.
+func (m *Matrix) Density() float64 {
+	if m.genes == 0 || m.samples == 0 {
+		return 0
+	}
+	return float64(len(m.idx)) / (float64(m.genes) * float64(m.samples))
+}
+
+// MaxRowLen returns the length of the longest row — the scratch-buffer
+// bound for prefix intersections.
+func (m *Matrix) MaxRowLen() int {
+	max := 0
+	for g := 0; g < m.genes; g++ {
+		if n := m.rowStart[g+1] - m.rowStart[g]; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Row returns gene g's sorted sample indices. The slice aliases the
+// matrix; callers treat it as read-only.
+func (m *Matrix) Row(g int) []int32 {
+	if g < 0 || g >= m.genes {
+		panic(fmt.Sprintf("sparsemat: row %d out of range %d", g, m.genes))
+	}
+	return m.idx[m.rowStart[g]:m.rowStart[g+1]:m.rowStart[g+1]]
+}
+
+// gallopRatio is the length imbalance beyond which intersections switch
+// from the linear two-pointer merge to galloping search: binary-probing
+// the long list once per short-list element costs |short|·log|long|,
+// which beats |short|+|long| when the lists differ by well over the
+// log factor. The same constant gates the in-merge gap probe in
+// IntersectIntoMaskMin.
+const gallopRatio = 16
+
+// IntersectCount returns |a ∩ b| over two sorted index lists.
+func IntersectCount(a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return gallopCount(a, b, nil)
+	}
+	n := 0
+	ia, ib := 0, 0
+	for ia < len(a) && ib < len(b) {
+		av, bv := a[ia], b[ib]
+		if av == bv {
+			n++
+			ia++
+			ib++
+		} else if av < bv {
+			ia++
+		} else {
+			ib++
+		}
+	}
+	return n
+}
+
+// IntersectCountWeighted returns the weighted size of a ∩ b: the sum of
+// w[s] over every shared sample s. w is indexed by sample column — the
+// flat multiplicity array of a kernelized (column-deduped) instance.
+func IntersectCountWeighted(a, b []int32, w []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return gallopCount(a, b, w)
+	}
+	n := 0
+	ia, ib := 0, 0
+	for ia < len(a) && ib < len(b) {
+		av, bv := a[ia], b[ib]
+		if av == bv {
+			n += int(w[av])
+			ia++
+			ib++
+		} else if av < bv {
+			ia++
+		} else {
+			ib++
+		}
+	}
+	return n
+}
+
+// gallopCount intersects a short sorted list against a much longer one by
+// exponential search: for each element of a, gallop forward in b to the
+// first candidate ≥ it. The b cursor only moves forward, so the total
+// cost is |a|·log(gap) even when the runs cluster. A nil w counts
+// matches; otherwise matches accumulate w[sample].
+func gallopCount(a, b []int32, w []int32) int {
+	n := 0
+	ib := 0
+	for _, av := range a {
+		ib = gallopTo(b, ib, av)
+		if ib == len(b) {
+			break
+		}
+		if b[ib] == av {
+			if w == nil {
+				n++
+			} else {
+				n += int(w[av])
+			}
+			ib++
+		}
+	}
+	return n
+}
+
+// gallopTo returns the smallest index ≥ from with b[index] ≥ v, galloping
+// to bracket the answer then binary-searching the bracket.
+func gallopTo(b []int32, from int, v int32) int {
+	if from >= len(b) || b[from] >= v {
+		return from
+	}
+	step := 1
+	lo := from
+	hi := from + step
+	for hi < len(b) && b[hi] < v {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	// Invariant: b[lo] < v, and either hi == len(b) or b[hi] >= v.
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// maskHas reports whether sample s is set in the packed mask (a
+// bitmat.Vec's words).
+func maskHas(mask []uint64, s int32) bool {
+	return mask[int(s)/bitmat.WordBits]>>(uint(s)%uint(bitmat.WordBits))&1 == 1
+}
+
+// CountWeighted returns the weighted size of one list: Σ w[s].
+func CountWeighted(list []int32, w []int32) int {
+	n := 0
+	for _, s := range list {
+		n += int(w[s])
+	}
+	return n
+}
+
+// FilterMask writes into dst the elements of a whose bit is set in the
+// packed mask (a bitmat.Vec's words) and returns the filled prefix of
+// dst, which must have capacity ≥ len(a).
+func FilterMask(dst, a []int32, mask []uint64) []int32 {
+	n := 0
+	for _, s := range a {
+		if maskHas(mask, s) {
+			dst[n] = s
+			n++
+		}
+	}
+	return dst[:n]
+}
+
+// IntersectIntoMaskMin writes a ∩ b (optionally filtered by a packed
+// sample mask; nil means no filter) into dst and returns the filled
+// prefix. dst must have capacity ≥ min(len(a), len(b)) and must not
+// alias a or b.
+//
+// minCount is the short-circuit threshold: whenever the running match
+// count plus the merge's remaining potential — min of the unconsumed
+// suffix lengths, an upper bound on further matches — falls strictly
+// below minCount, the merge stops and returns (nil, false): the
+// intersection provably cannot reach minCount. internal/cover derives
+// minCount from the shared prune bound (the smallest prefix popcount
+// that still beats the incumbent), so a dominated prefix fold stops
+// mid-merge instead of walking both lists to the end. minCount ≤ 0 never
+// short-circuits. A (prefix, true) return means the merge ran to
+// completion; the caller still compares len(prefix) against its
+// threshold, because completion only proves the count never became
+// unreachable mid-merge, not that it reached minCount. The running count
+// is the post-mask count, so with a mask the short-circuit means the
+// *masked* intersection cannot reach minCount — exactly the tp quantity
+// the caller thresholds.
+func IntersectIntoMaskMin(dst, a, b []int32, mask []uint64, minCount int) ([]int32, bool) {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if minCount > 0 && len(a) < minCount {
+		return nil, false
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return gallopIntoMaskMin(dst, a, b, mask, minCount)
+	}
+	// The short-circuit condition n + min(remA, remB) < minCount is kept
+	// in O(1) per step as cursor limits: remA < minCount−n ⟺ ia > endA,
+	// where endA = len(a) − (minCount−n). Each stored match relaxes the
+	// limits by one; a merge step past a limit proves the count
+	// unreachable. This keeps the hot loop at one bounds compare per
+	// cursor instead of recomputing the remaining potential every step.
+	n := 0
+	ia, ib := 0, 0
+	endA, endB := len(a), len(b)
+	needed := minCount
+	if needed > 0 {
+		endA = len(a) - needed + 1
+		endB = len(b) - needed + 1
+		if endB < 1 {
+			return nil, false
+		}
+	}
+	for ia < endA && ib < endB {
+		av, bv := a[ia], b[ib]
+		if av == bv {
+			if mask == nil || maskHas(mask, av) {
+				dst[n] = av
+				n++
+				if needed > 0 {
+					needed--
+					if endA++; endA > len(a) {
+						endA = len(a)
+					}
+					if endB++; endB > len(b) {
+						endB = len(b)
+					}
+				}
+			}
+			ia++
+			ib++
+		} else if av < bv {
+			ia++
+		} else {
+			ib++
+		}
+	}
+	if ia < len(a) && ib < len(b) {
+		// Stopped at a limit, not at the end of a list: the masked count
+		// can no longer reach minCount.
+		return nil, false
+	}
+	return dst[:n], true
+}
+
+// gallopIntoMaskMin is IntersectIntoMaskMin for lopsided pairs: each
+// element of the short list a gallops forward in b, so the cost is
+// |a|·log(gap) instead of |a|+|b|. The short-circuit bound here is the
+// unconsumed remainder of a alone — still an upper bound on further
+// matches.
+func gallopIntoMaskMin(dst, a, b []int32, mask []uint64, minCount int) ([]int32, bool) {
+	n := 0
+	ib := 0
+	for ia, av := range a {
+		if minCount > 0 && n+len(a)-ia < minCount {
+			return nil, false
+		}
+		ib = gallopTo(b, ib, av)
+		if ib == len(b) {
+			break
+		}
+		if b[ib] == av {
+			if mask == nil || maskHas(mask, av) {
+				dst[n] = av
+				n++
+			}
+			ib++
+		}
+	}
+	return dst[:n], true
+}
+
+// IntersectInto writes a ∩ b into dst (no mask, no short-circuit) and
+// returns the filled prefix. dst must have capacity ≥ min(len(a), len(b)).
+func IntersectInto(dst, a, b []int32) []int32 {
+	out, _ := IntersectIntoMaskMin(dst, a, b, nil, 0)
+	return out
+}

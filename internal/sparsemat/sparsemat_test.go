@@ -1,0 +1,339 @@
+package sparsemat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+// randomBitmat builds a seeded genes×samples matrix with the given
+// per-bit density.
+func randomBitmat(t testing.TB, rng *rand.Rand, genes, samples int, density float64) *bitmat.Matrix {
+	t.Helper()
+	m := bitmat.New(genes, samples)
+	for g := 0; g < genes; g++ {
+		for s := 0; s < samples; s++ {
+			if rng.Float64() < density {
+				m.Set(g, s)
+			}
+		}
+	}
+	return m
+}
+
+func TestFromBitmatRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, density := range []float64{0, 0.01, 0.1, 0.5, 1.0} {
+		m := randomBitmat(t, rng, 37, 203, density)
+		sm := FromBitmat(m)
+		if sm.Genes() != m.Genes() || sm.Samples() != m.Samples() {
+			t.Fatalf("shape mismatch: %dx%d vs %dx%d", sm.Genes(), sm.Samples(), m.Genes(), m.Samples())
+		}
+		nnz := 0
+		for g := 0; g < m.Genes(); g++ {
+			row := sm.Row(g)
+			if len(row) != m.RowPopCount(g) {
+				t.Fatalf("density %v row %d: len %d want popcount %d", density, g, len(row), m.RowPopCount(g))
+			}
+			nnz += len(row)
+			prev := int32(-1)
+			for _, s := range row {
+				if s <= prev {
+					t.Fatalf("row %d not strictly sorted: %d after %d", g, s, prev)
+				}
+				prev = s
+				if !m.Get(g, int(s)) {
+					t.Fatalf("row %d has spurious sample %d", g, s)
+				}
+			}
+		}
+		if sm.NNZ() != nnz {
+			t.Fatalf("NNZ %d want %d", sm.NNZ(), nnz)
+		}
+		want := float64(nnz) / float64(m.Genes()*m.Samples())
+		if got := sm.Density(); got != want {
+			t.Fatalf("Density %v want %v", got, want)
+		}
+	}
+}
+
+func TestMaxRowLen(t *testing.T) {
+	m := bitmat.New(3, 100)
+	for s := 0; s < 17; s++ {
+		m.Set(1, s*3)
+	}
+	m.Set(2, 99)
+	sm := FromBitmat(m)
+	if got := sm.MaxRowLen(); got != 17 {
+		t.Fatalf("MaxRowLen %d want 17", got)
+	}
+}
+
+// oracleCount computes |rows a ∩ b| through the dense path.
+func oracleCount(m *bitmat.Matrix, a, b int) int {
+	dst := make([]uint64, m.Words())
+	return bitmat.AndWordsPop(dst, m.Row(a), m.Row(b))
+}
+
+func TestIntersectAgainstDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, density := range []float64{0.005, 0.05, 0.3, 0.9} {
+		m := randomBitmat(t, rng, 24, 517, density)
+		sm := FromBitmat(m)
+		dst := make([]int32, 517)
+		for a := 0; a < m.Genes(); a++ {
+			for b := a; b < m.Genes(); b++ {
+				want := oracleCount(m, a, b)
+				if got := IntersectCount(sm.Row(a), sm.Row(b)); got != want {
+					t.Fatalf("density %v (%d,%d): IntersectCount %d want %d", density, a, b, got, want)
+				}
+				out := IntersectInto(dst, sm.Row(a), sm.Row(b))
+				if len(out) != want {
+					t.Fatalf("density %v (%d,%d): IntersectInto len %d want %d", density, a, b, len(out), want)
+				}
+				for i, s := range out {
+					if !m.Get(a, int(s)) || !m.Get(b, int(s)) {
+						t.Fatalf("(%d,%d): spurious element %d at %d", a, b, s, i)
+					}
+					if i > 0 && out[i-1] >= s {
+						t.Fatalf("(%d,%d): output not sorted", a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectGallopImbalance(t *testing.T) {
+	// One tiny list against one huge list exercises the galloping path;
+	// results must match the linear merge exactly.
+	rng := rand.New(rand.NewSource(7))
+	long := make([]int32, 0, 4000)
+	for s := int32(0); s < 8000; s += 2 {
+		if rng.Float64() < 0.9 {
+			long = append(long, s)
+		}
+	}
+	short := []int32{1, 2, 4, 4093, 7998, 7999}
+	want := 0
+	for _, v := range short {
+		for _, w := range long {
+			if v == w {
+				want++
+			}
+		}
+	}
+	if got := IntersectCount(short, long); got != want {
+		t.Fatalf("gallop count %d want %d", got, want)
+	}
+	if got := IntersectCount(long, short); got != want {
+		t.Fatalf("gallop count (swapped) %d want %d", got, want)
+	}
+	dst := make([]int32, len(short))
+	if out := IntersectInto(dst, short, long); len(out) != want {
+		t.Fatalf("gallop into %d want %d", len(out), want)
+	}
+}
+
+func TestIntersectCountWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomBitmat(t, rng, 10, 300, 0.2)
+	sm := FromBitmat(m)
+	w := make([]int32, 300)
+	for i := range w {
+		w[i] = int32(1 + rng.Intn(5))
+	}
+	dst := make([]int32, 300)
+	for a := 0; a < m.Genes(); a++ {
+		for b := a; b < m.Genes(); b++ {
+			out := IntersectInto(dst, sm.Row(a), sm.Row(b))
+			want := 0
+			for _, s := range out {
+				want += int(w[s])
+			}
+			if got := IntersectCountWeighted(sm.Row(a), sm.Row(b), w); got != want {
+				t.Fatalf("(%d,%d): weighted %d want %d", a, b, got, want)
+			}
+			if got := CountWeighted(out, w); got != want {
+				t.Fatalf("(%d,%d): CountWeighted %d want %d", a, b, got, want)
+			}
+		}
+	}
+	// Weighted galloping path.
+	long := sm.Row(0)
+	short := long[:min(2, len(long))]
+	want := 0
+	for _, s := range short {
+		want += int(w[s])
+	}
+	if len(long) >= gallopRatio*len(short) && len(short) > 0 {
+		if got := IntersectCountWeighted(short, long, w); got != want {
+			t.Fatalf("weighted gallop %d want %d", got, want)
+		}
+	}
+}
+
+func TestFilterMask(t *testing.T) {
+	v := bitmat.NewVec(130)
+	keepEven := func(s int) bool { return s%2 == 0 }
+	for s := 0; s < 130; s++ {
+		if keepEven(s) {
+			v.Set(s)
+		}
+	}
+	a := []int32{0, 1, 2, 63, 64, 65, 128, 129}
+	dst := make([]int32, len(a))
+	out := FilterMask(dst, a, v.Words())
+	want := []int32{0, 2, 64, 128}
+	if len(out) != len(want) {
+		t.Fatalf("FilterMask len %d want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("FilterMask[%d] = %d want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestIntersectIntoMaskMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	m := randomBitmat(t, rng, 16, 400, 0.15)
+	sm := FromBitmat(m)
+	mask := bitmat.NewVec(400)
+	for s := 0; s < 400; s++ {
+		if rng.Float64() < 0.6 {
+			mask.Set(s)
+		}
+	}
+	dst := make([]int32, 400)
+	scratch := make([]int32, 400)
+	for a := 0; a < m.Genes(); a++ {
+		for b := a; b < m.Genes(); b++ {
+			full := IntersectInto(scratch, sm.Row(a), sm.Row(b))
+			unmaskedLen := len(full)
+			masked := 0
+			for _, s := range full {
+				if mask.Get(int(s)) {
+					masked++
+				}
+			}
+			for _, minCount := range []int{0, 1, unmaskedLen, unmaskedLen + 1, unmaskedLen + 50} {
+				out, ok := IntersectIntoMaskMin(dst, sm.Row(a), sm.Row(b), mask.Words(), minCount)
+				if !ok {
+					// Short-circuit is only allowed when the masked
+					// intersection cannot reach minCount.
+					if masked >= minCount {
+						t.Fatalf("(%d,%d) minCount=%d: short-circuited but masked size is %d", a, b, minCount, masked)
+					}
+					continue
+				}
+				if len(out) != masked {
+					t.Fatalf("(%d,%d) minCount=%d: len %d want %d", a, b, minCount, len(out), masked)
+				}
+			}
+			// minCount above the full size must short-circuit (or complete
+			// with a count the caller will reject); it must never fabricate
+			// elements.
+			out, ok := IntersectIntoMaskMin(dst, sm.Row(a), sm.Row(b), nil, unmaskedLen+1)
+			if ok && len(out) > unmaskedLen {
+				t.Fatalf("(%d,%d): impossible count %d > %d", a, b, len(out), unmaskedLen)
+			}
+		}
+	}
+}
+
+func TestGallopTo(t *testing.T) {
+	b := []int32{2, 4, 4, 8, 16, 32, 64, 128}
+	cases := []struct {
+		from int
+		v    int32
+		want int
+	}{
+		{0, 0, 0}, {0, 2, 0}, {0, 3, 1}, {0, 5, 3}, {0, 128, 7}, {0, 129, 8},
+		{3, 2, 3}, {5, 64, 6}, {8, 1, 8},
+	}
+	for _, c := range cases {
+		if got := gallopTo(b, c.from, c.v); got != c.want {
+			t.Fatalf("gallopTo(from=%d, v=%d) = %d want %d", c.from, c.v, got, c.want)
+		}
+	}
+}
+
+// FuzzSparseIntersect pins every sparse intersection primitive to the
+// dense bitmat.AndWordsPop oracle on arbitrary bit patterns.
+func FuzzSparseIntersect(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0x13}, []byte{0x0f, 0xf0, 0x13}, 3)
+	f.Add([]byte{}, []byte{0x01}, 0)
+	f.Add([]byte{0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa},
+		[]byte{0x55, 0xff}, 1)
+	f.Fuzz(func(t *testing.T, ab, bb []byte, minCount int) {
+		const maxBytes = 512
+		if len(ab) > maxBytes {
+			ab = ab[:maxBytes]
+		}
+		if len(bb) > maxBytes {
+			bb = bb[:maxBytes]
+		}
+		samples := 8 * maxBytes
+		m := bitmat.New(2, samples)
+		for i, byteVal := range ab {
+			for bit := 0; bit < 8; bit++ {
+				if byteVal>>uint(bit)&1 == 1 {
+					m.Set(0, i*8+bit)
+				}
+			}
+		}
+		for i, byteVal := range bb {
+			for bit := 0; bit < 8; bit++ {
+				if byteVal>>uint(bit)&1 == 1 {
+					m.Set(1, i*8+bit)
+				}
+			}
+		}
+		sm := FromBitmat(m)
+		want := oracleCount(m, 0, 1)
+		if got := IntersectCount(sm.Row(0), sm.Row(1)); got != want {
+			t.Fatalf("IntersectCount %d want %d", got, want)
+		}
+		dst := make([]int32, samples)
+		out := IntersectInto(dst, sm.Row(0), sm.Row(1))
+		if len(out) != want {
+			t.Fatalf("IntersectInto len %d want %d", len(out), want)
+		}
+		for _, s := range out {
+			if !m.Get(0, int(s)) || !m.Get(1, int(s)) {
+				t.Fatalf("spurious element %d", s)
+			}
+		}
+		w := make([]int32, samples)
+		for i := range w {
+			w[i] = int32(i%3 + 1)
+		}
+		wantW := 0
+		for _, s := range out {
+			wantW += int(w[s])
+		}
+		if got := IntersectCountWeighted(sm.Row(0), sm.Row(1), w); got != wantW {
+			t.Fatalf("IntersectCountWeighted %d want %d", got, wantW)
+		}
+		if minCount < 0 {
+			minCount = -minCount
+		}
+		minCount %= samples + 2
+		got, ok := IntersectIntoMaskMin(dst, sm.Row(0), sm.Row(1), nil, minCount)
+		if !ok && want >= minCount {
+			t.Fatalf("short-circuit at minCount=%d but |a∩b|=%d", minCount, want)
+		}
+		if ok && len(got) != want {
+			t.Fatalf("MaskMin len %d want %d", len(got), want)
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
