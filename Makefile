@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchfull reports examples faults chaos kernel-smoke kernel-bench sparse-smoke sparse-bench serve-smoke clean
+.PHONY: all build vet lint test race bench benchfull reports examples faults chaos chaos-soak kernel-smoke kernel-bench sparse-smoke sparse-bench serve-smoke clean
 
 all: build vet lint test
 
@@ -54,6 +54,16 @@ faults:
 # (see docs/ROBUSTNESS.md).
 chaos:
 	$(GO) test -race -count=1 ./internal/harness ./internal/failpoint ./internal/ckptstore
+
+# End-to-end resilience soak (docs/RESILIENCE.md §5): run the real daemon
+# under seeded randomized failpoint schedules, SIGKILL it mid-job, drive
+# it with the retrying client, and require no job lost, no idempotency
+# key executed twice, bit-identical results, and a store within budget.
+# CI runs 8 rounds with the race detector; `go run ./cmd/chaossoak
+# -rounds 25` is the longer local campaign.
+chaos-soak:
+	$(GO) build -race -o /tmp/chaossoak ./cmd/chaossoak
+	/tmp/chaossoak -rounds 8 -seed 1
 
 # Kernelization differential tests (docs/KERNELIZATION.md): kernelized =
 # unkernelized = exhaustive winners, counts, and crash-resume across the

@@ -34,6 +34,13 @@ func main() {
 	workers := flag.Int("workers", 0, "per-job engine worker count (0 = GOMAXPROCS); pinned into each submission")
 	ckptEvery := flag.Int("checkpoint-every", 1, "per-job checkpoint cadence in greedy steps")
 	retain := flag.Int("retain", ckptstore.DefaultRetain, "checkpoint generations retained per job")
+	shedBatchAt := flag.Int("shed-batch-at", 0, "queue depth at which batch-class jobs are shed with 503 (0 = 3/4 of -max-queued, negative disables)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant submissions per second (0 disables rate limiting)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant submission burst on top of -tenant-rate")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive backend failures that trip the circuit breaker (0 = default, negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "circuit breaker open -> half-open delay (0 = default)")
+	diskBudget := flag.Int64("disk-budget", 0, "data-dir byte budget; over it the GC reclaims checkpoints and admission degrades (0 disables)")
+	diskPoll := flag.Duration("disk-poll", 0, "disk accountant cadence and ENOSPC retry interval (0 = default)")
 	chaos := flag.String("chaos", "", "failpoint specs to arm, e.g. 'harness/partition=error@2'")
 	flag.Parse()
 
@@ -64,7 +71,16 @@ func main() {
 		JobWorkers:      *workers,
 		CheckpointEvery: *ckptEvery,
 		Retain:          *retain,
-		Logf:            logger.Printf,
+
+		ShedBatchAt:      *shedBatchAt,
+		TenantRatePerSec: *tenantRate,
+		TenantBurst:      *tenantBurst,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		DiskBudgetBytes:  *diskBudget,
+		DiskPoll:         *diskPoll,
+
+		Logf: logger.Printf,
 	})
 	if err != nil {
 		logger.Printf("open: %v", err)

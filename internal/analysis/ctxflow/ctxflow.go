@@ -76,6 +76,8 @@ var reportScope = map[string]bool{
 	"harness":   true,
 	"kernelize": true,
 	"service":   true,
+	"client":    true,
+	"chaossoak": true,
 }
 
 // longRunningSeeds are the cover functions seeded as LongRunning by name

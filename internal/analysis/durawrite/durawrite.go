@@ -58,7 +58,7 @@ var Analyzer = &analysis.Analyzer{
 	// The packages that produce or consume checkpoint files, plus the
 	// discovery daemon whose job specs/results share the same durability
 	// contract.
-	Scope:     []string{"ckptstore", "cover", "harness", "multihit", "service", "multihitd"},
+	Scope:     []string{"ckptstore", "cover", "harness", "multihit", "service", "multihitd", "client", "chaossoak"},
 	FactTypes: []analysis.Fact{new(DurableWriter)},
 	Run:       run,
 }

@@ -31,7 +31,7 @@ var Analyzer = &analysis.Analyzer{
 	// The packages whose goroutines feed WaitGroups and channels on the
 	// long-running cluster path, plus the discovery daemon's dispatcher
 	// and per-job workers.
-	Scope: []string{"cover", "cluster", "mpisim", "gpusim", "harness", "service"},
+	Scope: []string{"cover", "cluster", "mpisim", "gpusim", "harness", "service", "client", "chaossoak"},
 	Run:   run,
 }
 

@@ -35,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"repro/internal/failpoint"
 )
@@ -251,6 +252,44 @@ func syncDir(dir string) {
 	}
 	_ = d.Sync()  //lint:allow durawrite best-effort directory fsync; EINVAL on some filesystems and the file itself is already durable
 	_ = d.Close() //lint:allow durawrite read-only directory handle; Close after a best-effort Sync has no write to lose
+}
+
+// IsDiskFull reports whether an error is an out-of-space failure — a
+// real ENOSPC from the filesystem or an injected one from the
+// "diskfull" failpoint action. Service layers use it to enter a
+// degraded (stop-admitting, keep-draining) state instead of failing
+// the job whose write hit the wall.
+func IsDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC)
+}
+
+// PruneKeep removes all but the newest keep generations, regardless of
+// the store's Retain setting. It is the disk-budget GC's hook for
+// reclaiming space from a live store: under pressure the accountant
+// shrinks retained history first, before touching anything a resume
+// would need. keep is clamped to at least 1 — the newest generation is
+// never removed. It returns the number of bytes reclaimed.
+func (s *Store) PruneKeep(keep int) (int64, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gens, err := s.Generations()
+	if err != nil {
+		return 0, err
+	}
+	var freed int64
+	for i := 0; i+keep < len(gens); i++ {
+		p := s.path(gens[i])
+		if st, err := os.Stat(p); err == nil {
+			freed += st.Size()
+		}
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return freed, fmt.Errorf("ckptstore: pruning generation %d: %w", gens[i], err)
+		}
+	}
+	return freed, nil
 }
 
 // prune removes generations older than the retain horizon. Best-effort:

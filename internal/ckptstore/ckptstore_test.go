@@ -262,6 +262,144 @@ func TestLoadGenerationAndLoadFailpoint(t *testing.T) {
 	}
 }
 
+func TestDiskFullSaveIsDetectable(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer failpoint.DisableAll()
+	if err := failpoint.Enable("ckptstore/write", "diskfull@1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Save([]byte("wont-fit"))
+	if err == nil {
+		t.Fatal("save under diskfull failpoint succeeded")
+	}
+	if !IsDiskFull(err) {
+		t.Fatalf("save error %v not recognized by IsDiskFull", err)
+	}
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("save error %v does not carry injection provenance", err)
+	}
+	// Space "returns" (window closed): the store recovers in place.
+	gen, err := s.Save([]byte("fits-now"))
+	if err != nil || gen != 1 {
+		t.Fatalf("post-recovery save = gen %d, %v", gen, err)
+	}
+	if IsDiskFull(err) {
+		t.Fatal("nil error reported as disk full")
+	}
+}
+
+func TestPruneKeepShrinksHistory(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{Retain: 5})
+	for i := 0; i < 5; i++ {
+		if _, err := s.Save([]byte(fmt.Sprintf("gen%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freed, err := s.PruneKeep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed <= 0 {
+		t.Fatalf("PruneKeep freed %d bytes, want > 0", freed)
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 4 || gens[1] != 5 {
+		t.Fatalf("after PruneKeep(2): generations %v, want [4 5]", gens)
+	}
+	// keep < 1 clamps: the newest generation always survives.
+	if _, err := s.PruneKeep(0); err != nil {
+		t.Fatal(err)
+	}
+	gens, _ = s.Generations()
+	if len(gens) != 1 || gens[0] != 5 {
+		t.Fatalf("after PruneKeep(0): generations %v, want [5]", gens)
+	}
+	snap, err := s.Load()
+	if err != nil || string(snap.Payload) != "gen5" {
+		t.Fatalf("newest generation lost by PruneKeep: %v", err)
+	}
+	// Pruning an already-minimal store is a no-op, not an error.
+	if freed, err := s.PruneKeep(3); err != nil || freed != 0 {
+		t.Fatalf("no-op PruneKeep freed %d, err %v", freed, err)
+	}
+}
+
+// TestDegradedOpenAtRetainLimitWithTornTempAndNoSpace pins the worst
+// plausible recovery scenario: a store already at its Retain limit whose
+// newest generation is corrupt, with a torn temp file stranded by a
+// crashed Save, on a disk with zero free space (failpoint-simulated).
+// Open must still succeed (the sweep is a delete, not a write), Load
+// must fall back to the older generation with Skipped provenance, and
+// Save must surface a detectable disk-full error — not a torn file.
+func TestDegradedOpenAtRetainLimitWithTornTempAndNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Retain: 2})
+	if _, err := s.Save([]byte("older-good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("newest-bad")); err != nil {
+		t.Fatal(err)
+	}
+	// Strand a torn temp (crash between fsync and rename) ...
+	defer failpoint.DisableAll()
+	if err := failpoint.Enable("ckptstore/rename", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("torn")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("save under rename failpoint = %v", err)
+	}
+	failpoint.DisableAll()
+	// ... corrupt the newest visible generation ...
+	corruptNewest(t, s, func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	// ... and take away all free space before reopening.
+	if err := failpoint.Enable("ckptstore/write", "diskfull"); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{Retain: 2})
+	if err != nil {
+		t.Fatalf("degraded open failed: %v", err)
+	}
+	temps, _ := filepath.Glob(filepath.Join(dir, "*"+tempExt))
+	if len(temps) != 0 {
+		t.Fatalf("open with no free space left %d temp files unswept", len(temps))
+	}
+	snap, err := s2.Load()
+	if err != nil {
+		t.Fatalf("degraded load failed: %v", err)
+	}
+	if string(snap.Payload) != "older-good" || snap.Generation != 1 {
+		t.Fatalf("degraded load = gen %d %q, want gen 1 \"older-good\"", snap.Generation, snap.Payload)
+	}
+	if len(snap.Skipped) != 1 || snap.Skipped[0].Generation != 2 || !errors.Is(snap.Skipped[0].Err, ErrCorrupt) {
+		t.Fatalf("skip provenance = %+v", snap.Skipped)
+	}
+	// Writes on the full disk fail detectably and atomically: no torn
+	// generation appears, no temp file survives the failed Save.
+	if _, err := s2.Save([]byte("new")); !IsDiskFull(err) {
+		t.Fatalf("save on full disk = %v, want disk-full", err)
+	}
+	gens, _ := s2.Generations()
+	if len(gens) != 2 {
+		t.Fatalf("failed save changed visible generations: %v", gens)
+	}
+	// Space returns: the store recovers without reopening, and numbering
+	// skips the torn slot.
+	failpoint.DisableAll()
+	gen, err := s2.Save([]byte("recovered"))
+	if err != nil {
+		t.Fatalf("post-recovery save: %v", err)
+	}
+	if gen != 3 {
+		t.Fatalf("post-recovery generation = %d, want 3", gen)
+	}
+	if snap, err := s2.Load(); err != nil || string(snap.Payload) != "recovered" {
+		t.Fatalf("post-recovery load = %v", err)
+	}
+}
+
 func TestOpenValidatesRetain(t *testing.T) {
 	if _, err := Open(t.TempDir(), Options{Retain: -1}); err == nil {
 		t.Fatal("negative Retain accepted")

@@ -1,0 +1,435 @@
+// Package client is the Go client for the multihitd v1 API
+// (docs/SERVICE.md §2, docs/RESILIENCE.md §4). It exists so callers —
+// the chaos soak (cmd/chaossoak) first among them — can talk to a daemon
+// that is being killed, rate-limited, and disk-starved and still get
+// exactly-once submission semantics:
+//
+//   - every call has a per-call timeout and retries transient failures
+//     (network errors, 429, 5xx) with exponential backoff and the same
+//     deterministic splitmix64 jitter scheme as the harness retry loop,
+//     so two soak runs with equal seeds wait identically;
+//   - Retry-After hints from the daemon's overload shedding are honored,
+//     clamped to the configured backoff ceiling;
+//   - Submit always carries an Idempotency-Key (caller-provided or
+//     generated), so a retried POST lands on the already-accepted job
+//     instead of executing twice — the server persists the key, so this
+//     holds across daemon restarts too;
+//   - event streams (events.go) reconnect with Last-Event-ID and resume
+//     exactly after the frames already seen.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultTimeout      = 10 * time.Second
+	DefaultMaxRetries   = 4
+	DefaultBackoffBase  = 100 * time.Millisecond
+	DefaultBackoffMax   = 5 * time.Second
+	DefaultPollInterval = 100 * time.Millisecond
+)
+
+// Config shapes a Client.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport; nil means http.DefaultClient
+	// semantics with no client-level timeout (per-call timeouts apply).
+	HTTPClient *http.Client
+	// Timeout bounds each unary call attempt; 0 means DefaultTimeout.
+	// Event streams are exempt (they are long-lived by design).
+	Timeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried (so a
+	// call makes at most 1+MaxRetries attempts); 0 means
+	// DefaultMaxRetries, negative disables retries.
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the retry delays; zero values take
+	// the defaults. BackoffMax also caps honored Retry-After hints.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RetrySeed seeds the deterministic backoff jitter (the harness
+	// scheme: equal seeds wait identically).
+	RetrySeed int64
+	// PollInterval paces WaitTerminal's status polls; 0 means
+	// DefaultPollInterval.
+	PollInterval time.Duration
+	// Logf, when non-nil, receives retry/reconnect log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = DefaultPollInterval
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Client talks to one daemon.
+type Client struct {
+	cfg  Config
+	base *url.URL
+	// callSeq numbers unary calls; it is one of the jitter coordinates,
+	// so concurrent calls draw from distinct deterministic streams.
+	callSeq atomic.Uint64
+}
+
+// New builds a client.
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: Config.BaseURL is required")
+	}
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing BaseURL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: BaseURL %q needs a scheme and host", cfg.BaseURL)
+	}
+	return &Client{cfg: cfg, base: u}, nil
+}
+
+// APIError is a non-2xx response the daemon answered with.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the server's error message.
+	Msg string
+	// RetryAfter is the server's Retry-After hint (0 when absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("client: HTTP %d: %s (retry after %s)", e.Status, e.Msg, e.RetryAfter)
+	}
+	return fmt.Sprintf("client: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// IsRetryable reports whether the status is worth retrying: overload
+// (429), and server-side conditions that clear with time (5xx — the
+// daemon's shed/degraded/shutdown responses are 503).
+func (e *APIError) IsRetryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// backoff returns the deterministic, jittered delay before retry
+// `attempt` (1-based) of call callIdx — the harness scheme
+// (internal/harness/run.go) with (seed, call, attempt) coordinates.
+func (c *Client) backoff(callIdx uint64, attempt int) time.Duration {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	u := splitmix64(uint64(c.cfg.RetrySeed)<<32 ^ callIdx<<8 ^ uint64(attempt))
+	frac := float64(u>>11) / float64(1<<53)
+	d = time.Duration(float64(d) * (0.5 + frac))
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	return d
+}
+
+// retryWait resolves the wait before the next attempt: the jittered
+// backoff, stretched to a server Retry-After hint when one was given,
+// everything clamped to BackoffMax.
+func (c *Client) retryWait(callIdx uint64, attempt int, hint time.Duration) time.Duration {
+	d := c.backoff(callIdx, attempt)
+	if hint > d {
+		d = hint
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	return d
+}
+
+// do runs one unary call with retries. Request bodies are byte slices so
+// every attempt replays identical bytes. A nil out skips decoding.
+func (c *Client) do(ctx context.Context, method, path string, header http.Header, body []byte, out any) (*http.Response, error) {
+	callIdx := c.callSeq.Add(1)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			var hint time.Duration
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				hint = apiErr.RetryAfter
+			}
+			wait := c.retryWait(callIdx, attempt, hint)
+			c.cfg.Logf("client: %s %s attempt %d failed (%v), retrying in %s", method, path, attempt, lastErr, wait)
+			if !sleepCtx(ctx, wait) {
+				return nil, fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
+			}
+		}
+		resp, err := c.attempt(ctx, method, path, header, body, out)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) || attempt >= c.cfg.MaxRetries {
+			return nil, lastErr
+		}
+	}
+}
+
+// attempt is one wire round trip with the per-call timeout.
+func (c *Client) attempt(ctx context.Context, method, path string, header http.Header, body []byte, out any) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base.JoinPath(path).String(), rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, apiErrorFrom(resp, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return nil, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp, nil
+}
+
+// apiErrorFrom shapes a non-2xx response.
+func apiErrorFrom(resp *http.Response, data []byte) error {
+	var env struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(data, &env)
+	if env.Error == "" {
+		env.Error = strings.TrimSpace(string(data))
+	}
+	e := &APIError{Status: resp.StatusCode, Msg: env.Error}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil && sec > 0 {
+			e.RetryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return e
+}
+
+// retryable classifies an attempt error: network-level failures and
+// retryable API statuses are; context expiry and 4xx rejections aren't.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.IsRetryable()
+	}
+	return true // transport error: connection refused, reset, timeout...
+}
+
+// NewIdempotencyKey returns a fresh random submission key.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Out of entropy is not a real failure mode; degrade to a
+		// time-derived key rather than panicking mid-soak.
+		return fmt.Sprintf("key-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit posts one job. idemKey may be empty — a random key is generated
+// so the internal retries can never double-submit; pass an explicit key
+// to make retries across client restarts land on the same job.
+// duplicate reports that the key named an already-accepted job.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec, idemKey string) (st *service.JobStatus, duplicate bool, err error) {
+	if idemKey == "" {
+		idemKey = NewIdempotencyKey()
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: marshaling spec: %w", err)
+	}
+	st = &service.JobStatus{}
+	hdr := http.Header{"Idempotency-Key": []string{idemKey}}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", hdr, body, st)
+	if err != nil {
+		return nil, false, err
+	}
+	return st, resp.StatusCode == http.StatusOK, nil
+}
+
+// Get fetches one job's status.
+func (c *Client) Get(ctx context.Context, id string) (*service.JobStatus, error) {
+	st := &service.JobStatus{}
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// List fetches every job, optionally one tenant's.
+func (c *Client) List(ctx context.Context, tenant string) ([]*service.JobStatus, error) {
+	path := "/v1/jobs"
+	if tenant != "" {
+		path += "?tenant=" + url.QueryEscape(tenant)
+	}
+	var out []*service.JobStatus
+	if _, err := c.do(ctx, http.MethodGet, path, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel stops a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*service.JobStatus, error) {
+	st := &service.JobStatus{}
+	if _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Resume re-enqueues a partial job for its next leg.
+func (c *Client) Resume(ctx context.Context, id string) (*service.JobStatus, error) {
+	st := &service.JobStatus{}
+	if _, err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/resume", nil, nil, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Stats fetches the operator counters.
+func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
+	st := &service.Stats{}
+	if _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Healthy reports liveness (one attempt, no retries — health polls must
+// not mask an unhealthy daemon behind backoff).
+func (c *Client) Healthy(ctx context.Context) bool {
+	_, err := c.attempt(ctx, http.MethodGet, "/healthz", nil, nil, nil)
+	return err == nil
+}
+
+// Readiness fetches /readyz. The returned detail is valid in both cases:
+// a 503 still carries the JSON body saying why.
+func (c *Client) Readiness(ctx context.Context) (*service.Readiness, error) {
+	rd := &service.Readiness{}
+	_, err := c.attempt(ctx, http.MethodGet, "/readyz", nil, nil, rd)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+		// Not ready: re-decode the detail from the error body.
+		if jerr := json.Unmarshal([]byte(apiErr.Msg), rd); jerr != nil {
+			// The envelope decode already consumed it; fall back to a
+			// bare not-ready.
+			rd.Ready = false
+		}
+		return rd, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// WaitTerminal polls until the job reaches a terminal state (the poll
+// rides the unary retry machinery, so daemon restarts mid-wait are
+// survived transparently).
+func (c *Client) WaitTerminal(ctx context.Context, id string) (*service.JobStatus, error) {
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		state, perr := service.ParseState(st.State)
+		if perr == nil && state.Terminal() {
+			return st, nil
+		}
+		if !sleepCtx(ctx, c.cfg.PollInterval) {
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// sleepCtx sleeps for d unless the context is canceled first; it reports
+// whether the sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// splitmix64 is the standard 64-bit mix for the jitter stream — the same
+// generator the harness retry loop uses, so a seeded soak's waits are
+// reproducible end to end.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,298 @@
+package client
+
+// Client tests. The unit pieces pin the deterministic backoff; the
+// integration pieces run a real service behind a fault-injecting handler
+// wrapper: lost POST responses must not double-submit (the
+// Idempotency-Key contract) and killed event streams must resume via
+// Last-Event-ID without duplicating or losing a numbered frame.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func testConfig(url string) Config {
+	return Config{
+		BaseURL:     url,
+		Timeout:     10 * time.Second,
+		MaxRetries:  5,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		RetrySeed:   42,
+	}
+}
+
+func testSpec() service.JobSpec {
+	return service.JobSpec{
+		Tenant:  "alice",
+		Cohort:  service.CohortSpec{Code: "BRCA", Genes: 40, Hits: 2, Seed: 11},
+		Options: service.OptionsSpec{Workers: 2},
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	a, err := New(testConfig("http://localhost:0"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, _ := New(testConfig("http://localhost:0"))
+	seen := map[time.Duration]bool{}
+	for call := uint64(1); call <= 4; call++ {
+		for attempt := 1; attempt <= 6; attempt++ {
+			da, db := a.backoff(call, attempt), b.backoff(call, attempt)
+			if da != db {
+				t.Fatalf("backoff(%d,%d) diverged across equal seeds: %v vs %v", call, attempt, da, db)
+			}
+			if da <= 0 || da > a.cfg.BackoffMax {
+				t.Fatalf("backoff(%d,%d) = %v outside (0, %v]", call, attempt, da, a.cfg.BackoffMax)
+			}
+			seen[da] = true
+		}
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct delays across 24 draws; jitter looks broken", len(seen))
+	}
+	// A different seed draws a different stream.
+	cfg := testConfig("http://localhost:0")
+	cfg.RetrySeed = 43
+	c, _ := New(cfg)
+	same := 0
+	for attempt := 1; attempt <= 6; attempt++ {
+		if a.backoff(1, attempt) == c.backoff(1, attempt) {
+			same++
+		}
+	}
+	if same == 6 {
+		t.Fatal("changing RetrySeed never changed the delays")
+	}
+	// Retry-After hints stretch the wait but never past BackoffMax.
+	if got := a.retryWait(1, 1, time.Hour); got != a.cfg.BackoffMax {
+		t.Fatalf("retryWait with huge hint = %v, want clamp %v", got, a.cfg.BackoffMax)
+	}
+	if got := a.retryWait(1, 1, 0); got != a.backoff(1, 1) {
+		t.Fatalf("retryWait without hint = %v, want plain backoff %v", got, a.backoff(1, 1))
+	}
+}
+
+func TestRetriesTransientAndStopsOnPermanent(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1") // clamped to BackoffMax by the client
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"queued":0,"running":0,"gpus_in_use":0,"gpu_capacity":1,"jobs":0,"cache":{},"engines":{},"shed":{},"breaker":{"state":"closed"},"disk":{"usage_bytes":0}}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(testConfig(ts.URL))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	start := time.Now()
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats after transient 503s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (two 503s then success)", got)
+	}
+	// The 1s Retry-After hints must have been clamped to BackoffMax.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("call took %v; Retry-After hint was not clamped", elapsed)
+	}
+
+	// A 404 is permanent: exactly one attempt, typed error.
+	calls.Store(0)
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"service: no such job"}`, http.StatusNotFound)
+	}))
+	defer notFound.Close()
+	c2, _ := New(testConfig(notFound.URL))
+	_, err = c2.Get(context.Background(), "job-000000099")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("Get of missing job: err = %v, want APIError 404", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d attempts for a 404, want 1 (no retries on permanent errors)", got)
+	}
+}
+
+// flakyProxy wraps the real daemon handler with fault injection: it can
+// swallow POST responses after the backend processed them (the classic
+// lost-ack) and kill event streams mid-flight.
+type flakyProxy struct {
+	inner http.Handler
+	// dropPosts counts down: while positive, a POST /v1/jobs is executed
+	// against the backend but its response is replaced with a 502.
+	dropPosts atomic.Int64
+	// killStreams counts down: while positive, a GET .../events
+	// connection is severed after maxStreamBytes of body.
+	killStreams    atomic.Int64
+	maxStreamBytes int
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" && p.dropPosts.Add(-1) >= 0:
+		// Execute for real, drop the answer on the floor.
+		rec := httptest.NewRecorder()
+		p.inner.ServeHTTP(rec, r)
+		http.Error(w, `{"error":"proxy: upstream response lost"}`, http.StatusBadGateway)
+	case r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/events") && p.killStreams.Add(-1) >= 0:
+		p.inner.ServeHTTP(&severingWriter{ResponseWriter: w, budget: p.maxStreamBytes}, r)
+	default:
+		p.inner.ServeHTTP(w, r)
+	}
+}
+
+// severingWriter aborts the connection once its byte budget is spent,
+// simulating a mid-stream network cut.
+type severingWriter struct {
+	http.ResponseWriter
+	budget int
+}
+
+func (s *severingWriter) Write(b []byte) (int, error) {
+	if len(b) > s.budget {
+		panic(http.ErrAbortHandler)
+	}
+	s.budget -= len(b)
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *severingWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func startDaemon(t *testing.T, proxy *flakyProxy) (*service.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := service.Open(service.Config{DataDir: t.TempDir(), JobWorkers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("service.Open: %v", err)
+	}
+	proxy.inner = svc.Handler()
+	ts := httptest.NewServer(proxy)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+// TestLostSubmitResponseDoesNotDoubleSubmit is the exactly-once
+// acceptance test: the backend accepts the job but the client never sees
+// the response; the retried POST carries the same Idempotency-Key and
+// must land on the already-accepted job.
+func TestLostSubmitResponseDoesNotDoubleSubmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a discovery job")
+	}
+	proxy := &flakyProxy{}
+	proxy.dropPosts.Store(1)
+	svc, ts := startDaemon(t, proxy)
+
+	c, err := New(testConfig(ts.URL))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, dup, err := c.Submit(ctx, testSpec(), "")
+	if err != nil {
+		t.Fatalf("Submit through lossy proxy: %v", err)
+	}
+	if !dup {
+		t.Fatal("retried POST not reported as a duplicate — it executed twice")
+	}
+	if jobs := svc.List(""); len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Fatalf("daemon holds %d jobs after the lost-ack retry, want exactly %s", len(jobs), st.ID)
+	}
+	if _, err := c.WaitTerminal(ctx, st.ID); err != nil {
+		t.Fatalf("WaitTerminal: %v", err)
+	}
+}
+
+// TestWatchResumesAcrossStreamCuts pins the SSE resume contract: with
+// the proxy severing the first two stream connections, the client must
+// still deliver every numbered frame exactly once, in order, and end
+// cleanly after the terminal frame.
+func TestWatchResumesAcrossStreamCuts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a discovery job")
+	}
+	// A budget smaller than the retained history guarantees each kill
+	// lands mid-stream, before the terminal frame.
+	proxy := &flakyProxy{maxStreamBytes: 150}
+	svc, ts := startDaemon(t, proxy)
+	_ = svc
+
+	c, err := New(testConfig(ts.URL))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, _, err := c.Submit(ctx, testSpec(), "")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.WaitTerminal(ctx, st.ID); err != nil {
+		t.Fatalf("WaitTerminal: %v", err)
+	}
+
+	// Sever the first two replay connections mid-stream.
+	proxy.killStreams.Store(2)
+	stream := c.WatchFrom(st.ID, 0)
+	defer stream.Close()
+	var seqs []uint64
+	sawTerminal := false
+	for {
+		e, err := stream.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if e.Seq > 0 {
+			seqs = append(seqs, e.Seq)
+		}
+		if e.Type == "state" && e.State == "succeeded" {
+			sawTerminal = true
+		}
+	}
+	if proxy.killStreams.Load() > 0 {
+		t.Fatal("proxy never severed a stream; the test exercised nothing")
+	}
+	if !sawTerminal {
+		t.Fatal("stream ended without the terminal state frame")
+	}
+	if len(seqs) < 3 {
+		t.Fatalf("only %d numbered frames; too few to validate the resume", len(seqs))
+	}
+	// Exactly once, in order, no gaps. The stream may open with a
+	// "dropped" frame when the job outgrew the retained ring — that frame
+	// is numbered too, so contiguity covers the whole delivery.
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("frame %d has seq %d after %d (dup, gap, or reorder across reconnects)", i, seqs[i], seqs[i-1])
+		}
+	}
+}

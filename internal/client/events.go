@@ -1,0 +1,195 @@
+package client
+
+// SSE watching with automatic resume. A Stream follows one job's
+// /events feed; when the connection breaks (daemon killed, proxy reset),
+// it reconnects with exponential backoff and a Last-Event-ID header
+// carrying the last sequence number it saw, so the daemon replays
+// exactly the frames the client missed — or a single "dropped" frame
+// accounting for anything already trimmed from the retained history.
+//
+// Numbered frames (Seq > 0) are delivered at most once across any
+// number of reconnects. Unnumbered snapshot frames (Seq == 0, the state
+// summary each connection opens with) may repeat once per reconnect;
+// consumers tracking exact progress should key on Seq.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Stream is a resumable subscription to one job's events. Not safe for
+// concurrent use.
+type Stream struct {
+	c     *Client
+	jobID string
+
+	lastSeq  uint64 // newest numbered frame delivered
+	haveSeq  bool
+	terminal bool // a terminal state frame has been seen
+	done     bool // the stream ended cleanly after a terminal frame
+
+	body    io.ReadCloser
+	rd      *bufio.Reader
+	callIdx uint64 // jitter coordinate for reconnect backoff
+	fails   int    // consecutive failed connect/read cycles
+}
+
+// Watch opens a stream over the job's events from now (plus the state
+// snapshot each connection leads with). The connection is established
+// lazily by the first Next call.
+func (c *Client) Watch(jobID string) *Stream {
+	return &Stream{c: c, jobID: jobID, callIdx: c.callSeq.Add(1)}
+}
+
+// WatchFrom opens a stream resuming after sequence number afterSeq (0
+// replays the daemon's whole retained history) — what a restarted
+// consumer uses to continue where its predecessor stopped.
+func (c *Client) WatchFrom(jobID string, afterSeq uint64) *Stream {
+	s := c.Watch(jobID)
+	s.lastSeq = afterSeq
+	s.haveSeq = true
+	return s
+}
+
+// Close releases the underlying connection (Next must not be in flight).
+func (s *Stream) Close() {
+	if s.body != nil {
+		_ = s.body.Close()
+		s.body = nil
+		s.rd = nil
+	}
+}
+
+// Next returns the next event. It blocks for live streams, reconnects
+// transparently on transport failures, and returns io.EOF once the job's
+// stream ended after a terminal state frame. Any other returned error is
+// permanent (not-found, context expiry, retry budget exhausted).
+func (s *Stream) Next(ctx context.Context) (service.Event, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return service.Event{}, err
+		}
+		if s.body == nil {
+			if s.done {
+				// The stream ended cleanly after a terminal frame; there
+				// is nothing left to reconnect for.
+				return service.Event{}, io.EOF
+			}
+			if err := s.connect(ctx); err != nil {
+				return service.Event{}, err
+			}
+		}
+		e, err := s.readFrame()
+		if err != nil {
+			s.Close()
+			if s.terminal && errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// The server finished the response after the terminal
+				// frame: the stream is over. A severed connection
+				// (unexpected EOF, reset) reconnects instead, even past a
+				// terminal snapshot — replayed history may still be owed.
+				s.done = true
+				return service.Event{}, io.EOF
+			}
+			// Mid-stream break: reconnect with Last-Event-ID unless the
+			// retry budget is spent.
+			s.fails++
+			if s.fails > s.c.cfg.MaxRetries {
+				return service.Event{}, fmt.Errorf("client: event stream for %s broken after %d reconnects: %w", s.jobID, s.fails-1, err)
+			}
+			wait := s.c.backoff(s.callIdx, s.fails)
+			s.c.cfg.Logf("client: event stream for %s broke (%v), reconnecting in %s", s.jobID, err, wait)
+			if !sleepCtx(ctx, wait) {
+				return service.Event{}, ctx.Err()
+			}
+			continue
+		}
+		s.fails = 0
+		if e.Seq > 0 {
+			s.lastSeq = e.Seq
+			s.haveSeq = true
+		}
+		if e.Type == "state" {
+			if st, perr := service.ParseState(e.State); perr == nil && st.Terminal() {
+				s.terminal = true
+			}
+		}
+		return e, nil
+	}
+}
+
+// connect dials the events endpoint, resuming after the newest numbered
+// frame already delivered. Connect-level failures consume the same retry
+// budget as mid-stream breaks.
+func (s *Stream) connect(ctx context.Context) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			s.c.base.JoinPath("/v1/jobs/"+s.jobID+"/events").String(), nil)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if s.haveSeq {
+			req.Header.Set("Last-Event-ID", strconv.FormatUint(s.lastSeq, 10))
+		}
+		resp, err := s.c.cfg.HTTPClient.Do(req)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			s.body = resp.Body
+			s.rd = bufio.NewReader(resp.Body)
+			return nil
+		}
+		if err == nil {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			err = apiErrorFrom(resp, data)
+		}
+		if !retryable(err) {
+			return err
+		}
+		s.fails++
+		if s.fails > s.c.cfg.MaxRetries {
+			return fmt.Errorf("client: connecting event stream for %s: %w", s.jobID, err)
+		}
+		wait := s.c.backoff(s.callIdx, s.fails)
+		s.c.cfg.Logf("client: event stream connect for %s failed (%v), retrying in %s", s.jobID, err, wait)
+		if !sleepCtx(ctx, wait) {
+			return ctx.Err()
+		}
+	}
+}
+
+// readFrame parses one SSE frame (id:/event:/data: lines up to a blank
+// line) into an Event.
+func (s *Stream) readFrame() (service.Event, error) {
+	var e service.Event
+	var haveData bool
+	for {
+		line, err := s.rd.ReadString('\n')
+		if err != nil {
+			return e, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if haveData {
+				return e, nil
+			}
+			// Keep-alive or leading blank: keep reading.
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				return e, fmt.Errorf("decoding event: %w", err)
+			}
+			haveData = true
+		case strings.HasPrefix(line, "id: "):
+			// Informational here; the authoritative Seq rides the JSON.
+		}
+	}
+}

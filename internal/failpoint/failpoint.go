@@ -16,14 +16,17 @@
 //
 //	ACTION[@WINDOW][%PROB[:SEED]]
 //
-//	ACTION  = "panic" | "error" | "delay(DURATION)" | "off"
+//	ACTION  = "panic" | "error" | "diskfull" | "delay(DURATION)" | "off"
 //	WINDOW  = N | N-M     fire only on the N-th (through M-th) hit, 1-based
 //	PROB    = float in (0,1]   seeded per-hit firing probability
 //	SEED    = uint64           probability stream seed (default 1)
 //
 // Examples: "panic@3" panics on exactly the third pass; "error@1-4"
 // injects an error on the first four passes (so a bounded retry still
-// fails); "delay(50ms)%0.25:7" sleeps with seeded probability 1/4.
+// fails); "delay(50ms)%0.25:7" sleeps with seeded probability 1/4;
+// "diskfull@5-9" makes passes five through nine fail with an injected
+// out-of-space error (errors.Is(err, syscall.ENOSPC)), simulating a full
+// disk that recovers when the window closes.
 // Firing is fully deterministic: it depends only on the spec and the
 // point's hit counter, never on wall-clock time or global randomness.
 //
@@ -38,6 +41,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -52,6 +56,7 @@ const (
 	actError action = iota
 	actPanic
 	actDelay
+	actDiskFull
 )
 
 // point is one armed failpoint.
@@ -77,21 +82,34 @@ var (
 	points = map[string]*point{}
 )
 
-// Error is the error an "error"-action failpoint injects. It unwraps to
-// ErrInjected so callers can detect chaos-injected failures.
+// Error is the error an "error"- or "diskfull"-action failpoint injects.
+// It unwraps to ErrInjected so callers can detect chaos-injected
+// failures; a disk-full injection additionally unwraps to syscall.ENOSPC
+// so ENOSPC-aware code paths treat it exactly like a real full disk.
 type Error struct {
 	// Name is the failpoint that fired.
 	Name string
 	// Hit is the 1-based pass count at which it fired.
 	Hit uint64
+	// DiskFull marks an injected out-of-space failure.
+	DiskFull bool
 }
 
 func (e *Error) Error() string {
+	if e.DiskFull {
+		return fmt.Sprintf("failpoint %s: injected disk full (hit %d)", e.Name, e.Hit)
+	}
 	return fmt.Sprintf("failpoint %s: injected error (hit %d)", e.Name, e.Hit)
 }
 
-// Unwrap lets errors.Is(err, ErrInjected) identify injected errors.
-func (e *Error) Unwrap() error { return ErrInjected }
+// Unwrap lets errors.Is(err, ErrInjected) identify injected errors, and
+// errors.Is(err, syscall.ENOSPC) identify injected disk-full errors.
+func (e *Error) Unwrap() []error {
+	if e.DiskFull {
+		return []error{ErrInjected, syscall.ENOSPC}
+	}
+	return []error{ErrInjected}
+}
 
 // ErrInjected is the sentinel all injected errors unwrap to.
 var ErrInjected = errors.New("failpoint: injected error")
@@ -228,6 +246,8 @@ func Check(name string) error {
 	case actDelay:
 		time.Sleep(p.delay)
 		return nil
+	case actDiskFull:
+		return &Error{Name: name, Hit: hit, DiskFull: true}
 	default:
 		return &Error{Name: name, Hit: hit}
 	}
@@ -309,6 +329,8 @@ func parseSpec(name, spec string) (*point, error) {
 		p.act = actPanic
 	case s == "error":
 		p.act = actError
+	case s == "diskfull":
+		p.act = actDiskFull
 	case strings.HasPrefix(s, "delay(") && strings.HasSuffix(s, ")"):
 		d, err := time.ParseDuration(s[len("delay(") : len(s)-1])
 		if err != nil || d < 0 {
@@ -317,7 +339,7 @@ func parseSpec(name, spec string) (*point, error) {
 		p.act = actDelay
 		p.delay = d
 	default:
-		return nil, fmt.Errorf("failpoint %s: unknown action %q (want panic, error, delay(D), or off)", name, s)
+		return nil, fmt.Errorf("failpoint %s: unknown action %q (want panic, error, diskfull, delay(D), or off)", name, s)
 	}
 	return p, nil
 }

@@ -2,6 +2,8 @@ package failpoint
 
 import (
 	"errors"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -38,6 +40,49 @@ func TestErrorAction(t *testing.T) {
 	Hit("t/err")
 	if got := Hits("t/err"); got != 2 {
 		t.Fatalf("hit counter = %d, want 2", got)
+	}
+}
+
+func TestDiskFullAction(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	if err := Enable("t/enospc", "diskfull@1-2"); err != nil {
+		t.Fatal(err)
+	}
+	err := Check("t/enospc")
+	if err == nil {
+		t.Fatal("armed diskfull failpoint returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected disk-full %v does not unwrap to ErrInjected", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected disk-full %v does not unwrap to ENOSPC", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || !fe.DiskFull || fe.Hit != 1 {
+		t.Fatalf("injected disk-full carries %+v", fe)
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("disk-full message %q does not say so", err)
+	}
+	if err := Check("t/enospc"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("hit 2 inside window returned %v", err)
+	}
+	// The window closed: space "returns" and writes succeed again.
+	if err := Check("t/enospc"); err != nil {
+		t.Fatalf("hit 3 outside window fired: %v", err)
+	}
+}
+
+func TestErrorActionIsNotDiskFull(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	if err := Enable("t/plain", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("t/plain"); errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("plain injected error %v unwraps to ENOSPC", err)
 	}
 }
 

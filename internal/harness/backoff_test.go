@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// backoffRun builds the minimal run state the backoff method reads.
+func backoffRun(seed int64, base, max time.Duration) *run {
+	return &run{opt: Options{
+		RetrySeed:   seed,
+		BackoffBase: base,
+		BackoffMax:  max,
+	}.withDefaults()}
+}
+
+func TestBackoffDeterministicAcrossRuns(t *testing.T) {
+	a := backoffRun(42, 2*time.Millisecond, 250*time.Millisecond)
+	b := backoffRun(42, 2*time.Millisecond, 250*time.Millisecond)
+	for step := 0; step < 3; step++ {
+		for part := 0; part < 5; part++ {
+			for attempt := 1; attempt <= 4; attempt++ {
+				da := a.backoff(step, part, attempt)
+				db := b.backoff(step, part, attempt)
+				if da != db {
+					t.Fatalf("backoff(%d,%d,%d) diverged across identical runs: %v vs %v",
+						step, part, attempt, da, db)
+				}
+			}
+		}
+	}
+}
+
+func TestBackoffSeedAndCoordinatesChangeJitter(t *testing.T) {
+	base := backoffRun(1, 2*time.Millisecond, time.Hour) // huge cap: pure jitter visible
+	other := backoffRun(2, 2*time.Millisecond, time.Hour)
+	sameSeed := 0
+	for part := 0; part < 32; part++ {
+		if base.backoff(0, part, 1) == other.backoff(0, part, 1) {
+			sameSeed++
+		}
+	}
+	if sameSeed == 32 {
+		t.Fatal("changing RetrySeed never changed the backoff sequence")
+	}
+	// Different partitions on the same seed draw different jitter too:
+	// retries of neighboring partitions must not thundering-herd.
+	distinct := map[time.Duration]bool{}
+	for part := 0; part < 32; part++ {
+		distinct[base.backoff(0, part, 1)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("32 partitions drew %d distinct delays; jitter is not mixing", len(distinct))
+	}
+}
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	const (
+		bbase = 4 * time.Millisecond
+		bmax  = 100 * time.Millisecond
+	)
+	r := backoffRun(7, bbase, bmax)
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := r.backoff(0, 0, attempt)
+		// Nominal delay base·2ⁿ⁻¹ capped at max, jittered in [0.5, 1.5),
+		// then re-capped: the result is within [0.5·nominal, max].
+		nominal := bbase << (attempt - 1)
+		if nominal > bmax || nominal <= 0 {
+			nominal = bmax
+		}
+		if d < nominal/2 || d > bmax {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, nominal/2, bmax)
+		}
+	}
+	// Deep attempts (shift past the cap, including shift overflow) stay
+	// pinned to the cap's jitter band.
+	for _, attempt := range []int{20, 40, 63, 64, 80} {
+		if d := r.backoff(0, 0, attempt); d < bmax/2 || d > bmax {
+			t.Fatalf("attempt %d: backoff %v escaped the cap band [%v, %v]", attempt, d, bmax/2, bmax)
+		}
+	}
+}
+
+func TestSleepCtxCompletes(t *testing.T) {
+	start := time.Now()
+	if !sleepCtx(context.Background(), 20*time.Millisecond) {
+		t.Fatal("uncanceled sleep reported cancellation")
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("sleep returned after only %v", d)
+	}
+}
+
+func TestSleepCtxCanceledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if sleepCtx(ctx, 10*time.Second) {
+		t.Fatal("canceled sleep reported completion")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v; sleep did not yield promptly", d)
+	}
+}
+
+func TestSleepCtxZeroDuration(t *testing.T) {
+	if !sleepCtx(context.Background(), 0) {
+		t.Fatal("zero-duration sleep on a live context reported cancellation")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if sleepCtx(ctx, 0) {
+		t.Fatal("zero-duration sleep on a dead context reported completion")
+	}
+	if sleepCtx(ctx, time.Millisecond) {
+		t.Fatal("sleep on an already-canceled context reported completion")
+	}
+}

@@ -50,6 +50,20 @@ const (
 	DefaultPartitionsPerWorker = 4
 )
 
+// Store is the persistence surface a supervised run needs: a durable
+// atomic save and a newest-valid-generation load. *ckptstore.Store is
+// the canonical implementation; the discovery service wraps it in a
+// disk-budget guard that turns ENOSPC into a degraded-state retry
+// instead of a failed run.
+type Store interface {
+	// Save atomically persists a payload as the next generation and
+	// returns its generation number.
+	Save(payload []byte) (uint64, error)
+	// Load returns the newest generation that decodes cleanly, with
+	// skip provenance for corrupt newer ones.
+	Load() (*ckptstore.Snapshot, error)
+}
+
 // Options configures a supervised run.
 type Options struct {
 	// Cover configures the underlying engine (hits, scheme, scheduler,
@@ -62,7 +76,7 @@ type Options struct {
 	// CheckpointEvery-th completed greedy step and at every stop. A
 	// persistence failure aborts the run (durability is the point);
 	// the in-memory result is still returned alongside the error.
-	Store *ckptstore.Store
+	Store Store
 	// Resume loads the newest valid generation from Store before
 	// running. With no loadable checkpoint the run FAILS rather than
 	// silently starting from scratch; omit Resume for a fresh run.

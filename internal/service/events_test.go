@@ -1,0 +1,289 @@
+package service
+
+// Tests for the pull-based event stream: a stalled subscriber must never
+// delay job progress (the issue's SSE slow-consumer guarantee), drops
+// are accounted exactly, and Last-Event-ID resumption replays retained
+// history.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/failpoint"
+)
+
+// TestStalledSubscriberCannotDelayJob is the slow-consumer acceptance
+// test: a subscriber that never reads must not slow the job down, and
+// when it finally reads, the frames it lost to history trimming are
+// accounted exactly — dropped + delivered = everything published.
+func TestStalledSubscriberCannotDelayJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a discovery job")
+	}
+	// A tiny ring forces drops even on a small job.
+	oldHist := jobEventHistory
+	jobEventHistory = 8
+	defer func() { jobEventHistory = oldHist }()
+
+	svc, err := Open(Config{DataDir: t.TempDir(), JobWorkers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer svc.Close()
+
+	st, err := svc.Submit(testSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Subscribe from the very beginning and then stall: no Next call
+	// until the job is done.
+	sub, err := svc.Subscribe(st.ID, 0)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	// The job must finish on the fault-free schedule even though the
+	// subscriber never consumed a single frame.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := svc.WaitJob(ctx, st.ID); err != nil {
+		t.Fatalf("WaitJob with a stalled subscriber: %v", err)
+	}
+
+	// Drain the stalled subscription: one dropped frame summarizing the
+	// trimmed history, then the retained tail, then end of stream.
+	var dropped, delivered uint64
+	var sawDropFrame bool
+	for {
+		e, ok := sub.Next(ctx)
+		if !ok {
+			break
+		}
+		if e.Type == "dropped" {
+			if sawDropFrame {
+				t.Fatal("more than one dropped frame for a single stall")
+			}
+			sawDropFrame = true
+			dropped = e.Dropped
+			continue
+		}
+		delivered++
+	}
+
+	j := svc.jobs[st.ID]
+	j.mu.Lock()
+	total := j.seq
+	j.mu.Unlock()
+	if total <= uint64(jobEventHistory) {
+		t.Fatalf("job published only %d events; the %d-slot ring never trimmed", total, jobEventHistory)
+	}
+	if !sawDropFrame {
+		t.Fatalf("history trimmed (%d events, ring %d) but no dropped frame", total, jobEventHistory)
+	}
+	if dropped+delivered != total {
+		t.Fatalf("accounting broken: %d dropped + %d delivered != %d published", dropped, delivered, total)
+	}
+}
+
+// TestSubscriptionResumeReplaysAfterSeq pins the Last-Event-ID contract
+// at the Service level: a second subscription starting after sequence N
+// replays exactly the retained events past N, and a stale cursor beyond
+// the live sequence clamps to "from now".
+func TestSubscriptionResumeReplaysAfterSeq(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a discovery job")
+	}
+	svc, err := Open(Config{DataDir: t.TempDir(), JobWorkers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer svc.Close()
+
+	st, err := svc.Submit(testSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := svc.WaitJob(ctx, st.ID); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+
+	// First pass: read everything, remember the frames.
+	sub, err := svc.Subscribe(st.ID, 0)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	var all []Event
+	for {
+		e, ok := sub.Next(ctx)
+		if !ok {
+			break
+		}
+		all = append(all, e)
+	}
+	if len(all) < 3 {
+		t.Fatalf("job published only %d retained events; need a few to test resume", len(all))
+	}
+
+	// Resume after the midpoint: exactly the tail replays, same frames.
+	mid := all[len(all)/2]
+	resumed, err := svc.Subscribe(st.ID, int64(mid.Seq))
+	if err != nil {
+		t.Fatalf("resuming Subscribe: %v", err)
+	}
+	wantTail := all[len(all)/2+1:]
+	for i, want := range wantTail {
+		got, ok := resumed.Next(ctx)
+		if !ok {
+			t.Fatalf("resumed stream ended at %d, want %d more frames", i, len(wantTail)-i)
+		}
+		if got.Seq != want.Seq || got.Type != want.Type {
+			t.Fatalf("resumed frame %d = seq %d %q, want seq %d %q", i, got.Seq, got.Type, want.Seq, want.Type)
+		}
+	}
+	if _, ok := resumed.Next(ctx); ok {
+		t.Fatal("resumed stream kept going past the original")
+	}
+
+	// A cursor beyond the live sequence (stale Last-Event-ID from a
+	// previous daemon incarnation) clamps: terminal job → immediate end.
+	stale, err := svc.Subscribe(st.ID, int64(all[len(all)-1].Seq)+1000)
+	if err != nil {
+		t.Fatalf("stale Subscribe: %v", err)
+	}
+	if e, ok := stale.Next(ctx); ok {
+		t.Fatalf("stale cursor replayed %+v, want clamped end of stream", e)
+	}
+}
+
+// TestHTTPEventStreamResumesWithLastEventID drives the SSE surface: live
+// frames carry id: lines, and reconnecting with Last-Event-ID receives
+// exactly the frames after it.
+func TestHTTPEventStreamResumesWithLastEventID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a discovery job")
+	}
+	svc, ts := startTestServer(t, Config{JobWorkers: 2})
+	st, _ := postJob(t, ts, testSpec())
+	if st == nil {
+		t.Fatal("submission rejected")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := svc.WaitJob(ctx, st.ID); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+
+	// Last-Event-ID: 0 requests replay from the start of retained history
+	// (a bare GET streams from now — pure SSE semantics).
+	ids, types := streamSSE(t, ts, st.ID, "0")
+	if len(ids) < 3 {
+		t.Fatalf("stream carried %d id: lines, need a few to test resume", len(ids))
+	}
+	// The unnumbered snapshot frame leads, with no id: line.
+	if types[0] != "state" {
+		t.Fatalf("first frame is %q, want the state snapshot", types[0])
+	}
+
+	mid := ids[len(ids)/2]
+	resumedIDs, _ := streamSSE(t, ts, st.ID, mid)
+	wantTail := ids[len(ids)/2+1:]
+	if len(resumedIDs) != len(wantTail) {
+		t.Fatalf("resume after id %s replayed %d frames, want %d", mid, len(resumedIDs), len(wantTail))
+	}
+	for i := range wantTail {
+		if resumedIDs[i] != wantTail[i] {
+			t.Fatalf("resumed frame %d has id %s, want %s", i, resumedIDs[i], wantTail[i])
+		}
+	}
+}
+
+// streamSSE reads one /events stream to completion, returning the id:
+// lines and the event types in order.
+func streamSSE(t *testing.T, ts *httptest.Server, jobID, lastEventID string) (ids, types []string) {
+	t.Helper()
+	u, err := url.Parse(ts.URL + "/v1/jobs/" + jobID + "/events")
+	if err != nil {
+		t.Fatalf("parsing URL: %v", err)
+	}
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\n", u.RequestURI(), u.Host)
+	if lastEventID != "" {
+		req += "Last-Event-ID: " + lastEventID + "\r\n"
+	}
+	req += "\r\n"
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatalf("dialing: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatalf("writing request: %v", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			ids = append(ids, strings.TrimPrefix(line, "id: "))
+		case strings.HasPrefix(line, "event: "):
+			types = append(types, strings.TrimPrefix(line, "event: "))
+		case line == "0": // chunked-encoding terminator: stream over
+			return ids, types
+		}
+	}
+	return ids, types
+}
+
+// TestStalledHTTPReaderCannotDelayJob is the wire-level half of the
+// slow-consumer guarantee: a client that opens /events and then never
+// reads a byte must not delay the job. The handler may block writing to
+// the dead socket, but job progress is published to the ring, not pushed
+// to subscribers, so the job finishes on schedule.
+func TestStalledHTTPReaderCannotDelayJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a discovery job")
+	}
+	// Generous event volume so the socket buffer pressure is real.
+	if err := failpoint.Enable("harness/partition", "delay(2ms)"); err != nil {
+		t.Fatalf("arming delay failpoint: %v", err)
+	}
+	defer failpoint.DisableAll()
+
+	svc, ts := startTestServer(t, Config{JobWorkers: 2})
+	st, _ := postJob(t, ts, testSpec())
+	if st == nil {
+		t.Fatal("submission rejected")
+	}
+
+	// Open the stream and go silent: no reads, ever.
+	u, _ := url.Parse(ts.URL)
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatalf("dialing: %v", err)
+	}
+	defer conn.Close()
+	req := fmt.Sprintf("GET /v1/jobs/%s/events HTTP/1.1\r\nHost: %s\r\n\r\n", st.ID, u.Host)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatalf("writing request: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := svc.WaitJob(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("job did not finish with a stalled SSE reader attached: %v", err)
+	}
+	if final.State != StateSucceeded.String() {
+		t.Fatalf("job ended %s with a stalled reader, want succeeded", final.State)
+	}
+}

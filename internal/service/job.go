@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -282,22 +283,38 @@ type job struct {
 	endedAt     time.Time
 	cancel      func()        // non-nil while running
 	userCancel  bool          // cancel requested by the submitter
-	subs        []chan Event  // live event streams
+	idemKey     string        // idempotency key the submission carried
 	done        chan struct{} // closed on terminal transition
+
+	// Event history ring. Publishing appends (never blocks), trimming
+	// drops the oldest frames, and subscribers pull at their own pace —
+	// a stalled consumer costs retained frames, never job progress.
+	seq      uint64        // last assigned event sequence (1-based)
+	events   []Event       // retained events, ascending seq
+	firstSeq uint64        // seq of events[0] (when non-empty)
+	notify   chan struct{} // closed and replaced on every publish
 }
 
 // Event is one job lifecycle or progress notification, streamed over SSE
-// and fanned out to in-process subscribers.
+// and pulled by in-process subscribers.
 type Event struct {
-	// Type is state, progress, checkpoint, retry, quarantine or resume.
+	// Type is state, progress, checkpoint, retry, quarantine, resume or
+	// dropped.
 	Type  string `json:"type"`
 	JobID string `json:"job_id"`
+	// Seq is the per-job event sequence number (1-based; 0 marks
+	// unnumbered snapshot frames). SSE clients resume a broken stream by
+	// sending it back as Last-Event-ID.
+	Seq uint64 `json:"seq,omitempty"`
 	// State accompanies state events.
 	State string `json:"state,omitempty"`
 	// Progress accompanies progress events.
 	Progress *ProgressStatus `json:"progress,omitempty"`
 	// Generation accompanies checkpoint/resume events.
 	Generation uint64 `json:"generation,omitempty"`
+	// Dropped accompanies dropped events: how many frames a slow
+	// subscriber lost to history trimming before this point.
+	Dropped uint64 `json:"dropped,omitempty"`
 	// Detail carries the human-readable tail (retry errors, quarantine
 	// ranges).
 	Detail string `json:"detail,omitempty"`
@@ -330,44 +347,15 @@ func (j *job) status() *JobStatus {
 	return st
 }
 
-// subscribe registers a live event stream. The returned cancel detaches
-// it; the channel closes after the terminal state event.
-func (j *job) subscribe() (<-chan Event, func()) {
-	ch := make(chan Event, eventBuffer)
-	j.mu.Lock()
-	if j.state.Terminal() {
-		// Late subscriber: deliver the terminal state and close.
-		ch <- Event{Type: "state", JobID: j.id, State: j.state.String()}
-		close(ch)
-		j.mu.Unlock()
-		return ch, func() {}
-	}
-	j.subs = append(j.subs, ch)
-	j.mu.Unlock()
-	return ch, func() {
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		for i, c := range j.subs {
-			if c == ch {
-				j.subs = append(j.subs[:i], j.subs[i+1:]...)
-				// The publisher side is gone from subs, so nothing will
-				// send or close; closing here releases the reader.
-				close(c)
-				return
-			}
-		}
-	}
-}
+// jobEventHistory bounds the per-job event ring. A subscriber that
+// falls further behind than this receives a "dropped" frame accounting
+// for the gap, then the retained tail. It is a var so tests can shrink
+// it to force drops cheaply.
+var jobEventHistory = 512
 
-// eventBuffer bounds a subscriber's in-flight events. Progress events are
-// droppable (the next one supersedes them); state events are not, and the
-// buffer is far deeper than the handful of state transitions a job makes.
-const eventBuffer = 256
-
-// publish fans an event out to subscribers. Terminal state events close
-// every stream. Slow subscribers lose progress events, never state
-// events: droppable events are skipped when a buffer is full, state
-// events evict the oldest buffered event instead.
+// publish appends an event to the job's history ring and wakes every
+// subscriber. It never blocks: a stalled subscriber cannot delay the
+// publisher (the harness progress callback, i.e. job progress itself).
 func (j *job) publish(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -375,30 +363,72 @@ func (j *job) publish(e Event) {
 }
 
 func (j *job) publishLocked(e Event) {
-	terminal := e.Type == "state" && j.state.Terminal()
-	for _, ch := range j.subs {
-		select {
-		case ch <- e:
-		default:
-			if e.Type == "progress" {
-				continue // droppable: a newer report is coming
-			}
-			// Make room for a must-deliver event.
-			select {
-			case <-ch:
-			default:
-			}
-			select {
-			case ch <- e:
-			default:
-			}
-		}
-		if terminal {
-			close(ch)
-		}
+	j.seq++
+	e.Seq = j.seq
+	if len(j.events) == 0 {
+		j.firstSeq = e.Seq
 	}
-	if terminal {
-		j.subs = nil
+	j.events = append(j.events, e)
+	if drop := len(j.events) - jobEventHistory; drop > 0 {
+		j.events = j.events[drop:]
+		j.firstSeq = j.events[0].Seq
+	}
+	if j.notify != nil {
+		close(j.notify)
+	}
+	j.notify = make(chan struct{})
+}
+
+// Subscription is a pull-based cursor over a job's event history. Each
+// Next call returns the next retained event at the subscriber's own
+// pace; history the subscriber was too slow for is summarized by a
+// single "dropped" frame rather than delivered late.
+type Subscription struct {
+	j      *job
+	cursor uint64 // last seq delivered (0 = nothing yet)
+}
+
+// Next blocks until an event past the cursor is available, the job's
+// stream ends (terminal state event delivered and nothing newer), or
+// ctx is done. The second return is false when the stream is over.
+func (sub *Subscription) Next(ctx context.Context) (Event, bool) {
+	j := sub.j
+	for {
+		j.mu.Lock()
+		if sub.cursor > j.seq {
+			// A stale Last-Event-ID from a previous daemon incarnation
+			// (sequences reset at restart): clamp to the live stream.
+			sub.cursor = j.seq
+		}
+		if sub.cursor < j.seq {
+			if first := j.firstSeq; first > sub.cursor+1 {
+				// The ring trimmed past the cursor: account for the gap.
+				dropped := first - sub.cursor - 1
+				sub.cursor = first - 1
+				e := Event{Type: "dropped", JobID: j.id, Seq: sub.cursor, Dropped: dropped}
+				j.mu.Unlock()
+				return e, true
+			}
+			e := j.events[sub.cursor+1-j.firstSeq]
+			sub.cursor = e.Seq
+			j.mu.Unlock()
+			return e, true
+		}
+		if j.state.Terminal() {
+			j.mu.Unlock()
+			return Event{}, false
+		}
+		ch := j.notify
+		if ch == nil {
+			ch = make(chan struct{})
+			j.notify = ch
+		}
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return Event{}, false
+		}
 	}
 }
 

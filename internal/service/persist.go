@@ -45,6 +45,9 @@ type persistedJob struct {
 	// Canceled records a user cancellation observed before the terminal
 	// write, so a restart does not resurrect the job.
 	Canceled bool `json:"canceled,omitempty"`
+	// IdempotencyKey carries the submission's key across restarts so a
+	// retried POST still lands on this job instead of re-executing.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // persistedResult is the result file's wire form: the terminal state, the

@@ -60,15 +60,43 @@ type Config struct {
 	// Retain is the per-job checkpoint-store retention; 0 means the
 	// ckptstore default.
 	Retain int
+
+	// ShedBatchAt is the queue depth at which batch-class submissions
+	// are shed with 503 + Retry-After, preserving headroom for
+	// interactive work; 0 means 3/4 of MaxQueued, negative disables
+	// shedding (only the hard MaxQueued limit applies).
+	ShedBatchAt int
+	// TenantRatePerSec and TenantBurst shape the per-tenant submission
+	// token bucket; a zero rate disables rate limiting.
+	TenantRatePerSec float64
+	TenantBurst      int
+	// BreakerThreshold is how many consecutive backend failures trip
+	// the circuit breaker; 0 means DefaultBreakerThreshold, negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay; 0 means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// DiskBudgetBytes caps the jobs directory footprint; over budget
+	// the background GC reclaims checkpoints (terminal jobs first) and
+	// the service degrades until usage is back under. 0 disables the
+	// budget (ENOSPC handling stays active regardless).
+	DiskBudgetBytes int64
+	// DiskPoll is the disk accountant cadence and the ENOSPC write
+	// retry interval; 0 means DefaultDiskPoll.
+	DiskPoll time.Duration
+
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
 
 // Defaults for Config zero values.
 const (
-	DefaultClusterGPUs  = 6 // one Summit node
-	DefaultMaxQueued    = 1024
-	DefaultCacheEntries = 128
+	DefaultClusterGPUs      = 6 // one Summit node
+	DefaultMaxQueued        = 1024
+	DefaultCacheEntries     = 128
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -90,6 +118,21 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 1
 	}
+	if c.ShedBatchAt == 0 {
+		c.ShedBatchAt = c.MaxQueued * 3 / 4
+		if c.ShedBatchAt < 1 {
+			c.ShedBatchAt = c.MaxQueued
+		}
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.DiskPoll <= 0 {
+		c.DiskPoll = DefaultDiskPoll
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -104,6 +147,11 @@ type Service struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	limiter *rateLimiter
+	drain   *drainEstimator
+	brk     *breaker
+	gcKick  chan struct{}
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
@@ -111,7 +159,10 @@ type Service struct {
 	queue  *fairQueue
 	adm    admission
 	cache  *resultCache
+	keys   map[string]string // idempotency key → job id
 	nextID uint64
+	shed   ShedStats
+	disk   DiskStats
 }
 
 // Open validates the config, restores persisted jobs from DataDir —
@@ -134,23 +185,42 @@ func Open(cfg Config) (*Service, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:    cfg,
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   map[string]*job{},
-		queue:  newFairQueue(),
-		adm:    admission{capacity: cfg.ClusterGPUs},
-		cache:  newResultCache(cfg.CacheEntries),
+		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    map[string]*job{},
+		queue:   newFairQueue(),
+		adm:     admission{capacity: cfg.ClusterGPUs},
+		cache:   newResultCache(cfg.CacheEntries),
+		keys:    map[string]string{},
+		gcKick:  make(chan struct{}, 1),
+		limiter: newRateLimiter(cfg.TenantRatePerSec, cfg.TenantBurst, time.Now),
+		drain:   newDrainEstimator(time.Now),
+		disk:    DiskStats{BudgetBytes: cfg.DiskBudgetBytes},
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.brk = &breaker{
+		threshold: cfg.BreakerThreshold,
+		cooldown:  cfg.BreakerCooldown,
+		now:       time.Now,
+		// Waking the dispatch loop shortly after the cooldown elapses
+		// lets the half-open probe start without another trigger.
+		onOpen: func(cd time.Duration) {
+			time.AfterFunc(cd+50*time.Millisecond, s.cond.Broadcast)
+		},
+	}
 	if err := s.restore(); err != nil {
 		cancel()
 		return nil, err
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go func() {
 		defer s.wg.Done()
 		s.dispatch()
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.diskMonitor()
 	}()
 	return s, nil
 }
@@ -173,6 +243,12 @@ func (s *Service) restore() error {
 		if err != nil {
 			s.cfg.Logf("service: skipping job %s: %v", id, err)
 			continue
+		}
+		j.idemKey = pj.IdempotencyKey
+		// Idempotency keys survive restarts: a retried POST lands on the
+		// restored job instead of executing a second time.
+		if j.idemKey != "" {
+			s.keys[j.idemKey] = id
 		}
 		var pr persistedResult
 		switch rerr := readJSONBounded(filepath.Join(dir, resultFileName), &pr); {
@@ -204,6 +280,7 @@ func (s *Service) restore() error {
 			s.cfg.Logf("service: restored %s (tenant %s) into the queue", id, j.tenant)
 		default:
 			s.cfg.Logf("service: skipping job %s: unreadable result: %v", id, rerr)
+			delete(s.keys, j.idemKey)
 		}
 	}
 	return nil
@@ -260,21 +337,71 @@ func (s *Service) buildJob(id string, spec JobSpec) (*job, error) {
 // scan runs; otherwise the job is persisted, queued, and dispatched
 // under fair share and admission.
 func (s *Service) Submit(spec JobSpec) (*JobStatus, error) {
+	st, _, err := s.SubmitIdempotent(spec, "")
+	return st, err
+}
+
+// SubmitIdempotent is Submit with an optional idempotency key: a retried
+// submission carrying the key of an already-accepted job returns that
+// job's status (duplicate = true) instead of executing a second time.
+// Keys are persisted with the job, so the guarantee survives daemon
+// restarts. Admission applies overload protection in order: duplicate
+// check (a read — always answered), degraded state, per-tenant rate
+// limit, result cache, queue depth, batch shedding.
+func (s *Service) SubmitIdempotent(spec JobSpec, idemKey string) (*JobStatus, bool, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
+	}
+	if idemKey != "" {
+		if st, dup, err := s.resolveIdempotentLocked(idemKey); dup || err != nil {
+			s.mu.Unlock()
+			return st, dup, err
+		}
+	}
+	if reason := s.disk.Degraded; reason != "" {
+		s.shed.DegradedRejected++
+		after := s.drain.retryAfter(s.queue.Len())
+		s.mu.Unlock()
+		return nil, false, &RetryAfterError{Err: fmt.Errorf("%w: %s", ErrDegraded, reason), After: after}
+	}
+	s.mu.Unlock()
+
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	if ok, wait := s.limiter.allow(tenant); !ok {
+		s.mu.Lock()
+		s.shed.RateLimited++
+		s.mu.Unlock()
+		return nil, false, &RetryAfterError{Err: fmt.Errorf("%w: tenant %s", ErrRateLimited, tenant), After: wait}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
 	}
 	id := fmt.Sprintf(jobIDPattern, s.nextID)
 	s.nextID++
+	if idemKey != "" {
+		// Reserve the key before releasing the lock so a concurrent
+		// duplicate waits for this submission instead of racing it.
+		s.keys[idemKey] = id
+	}
 	s.mu.Unlock()
 
 	j, err := s.buildJob(id, spec)
 	if err != nil {
-		return nil, err
+		s.rollbackKey(idemKey, id)
+		return nil, false, err
 	}
+	j.idemKey = idemKey
 	if j.cost.GPUs > s.cfg.ClusterGPUs {
-		return nil, fmt.Errorf("%w: needs %d simulated GPUs, cluster has %d",
+		s.rollbackKey(idemKey, id)
+		return nil, false, fmt.Errorf("%w: needs %d simulated GPUs, cluster has %d",
 			ErrOversized, j.cost.GPUs, s.cfg.ClusterGPUs)
 	}
 	key := CanonicalKey(j.cohort.Tumor, j.cohort.Normal, j.opt)
@@ -282,7 +409,8 @@ func (s *Service) Submit(spec JobSpec) (*JobStatus, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		s.rollbackKey(idemKey, id)
+		return nil, false, ErrClosed
 	}
 	if cached, from, ok := s.cache.Get(key); ok {
 		hit := *cached
@@ -292,35 +420,92 @@ func (s *Service) Submit(spec JobSpec) (*JobStatus, error) {
 		j.endedAt = time.Now()
 		close(j.done)
 		s.jobs[id] = j
+		s.cond.Broadcast()
 		s.mu.Unlock()
 		if err := s.persistJob(j); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		s.persistTerminal(j, StateSucceeded, key)
 		s.cfg.Logf("service: %s answered from cache (produced by %s)", id, from)
-		return j.status(), nil
+		return j.status(), false, nil
 	}
-	if s.queue.Len() >= s.cfg.MaxQueued {
+	depth := s.queue.Len()
+	if depth >= s.cfg.MaxQueued {
+		s.shed.QueueFull++
+		after := s.drain.retryAfter(depth)
 		s.mu.Unlock()
-		return nil, ErrQueueFull
+		s.rollbackKey(idemKey, id)
+		return nil, false, &RetryAfterError{Err: ErrQueueFull, After: after}
+	}
+	if s.cfg.ShedBatchAt > 0 && j.priority == PriorityBatch && depth >= s.cfg.ShedBatchAt {
+		s.shed.BatchShed++
+		after := s.drain.retryAfter(depth)
+		s.mu.Unlock()
+		s.rollbackKey(idemKey, id)
+		return nil, false, &RetryAfterError{Err: ErrShed, After: after}
 	}
 	s.jobs[id] = j
+	s.cond.Broadcast() // wake duplicate submissions waiting on the key
 	s.mu.Unlock()
 
 	if err := s.persistJob(j); err != nil {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
-		return nil, err
+		s.rollbackKey(idemKey, id)
+		return nil, false, err
 	}
 
 	s.mu.Lock()
 	s.queue.Push(j)
-	s.cond.Signal()
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.cfg.Logf("service: queued %s (tenant %s, %s, %d simulated GPUs)",
 		id, j.tenant, j.priority, j.cost.GPUs)
-	return j.status(), nil
+	return j.status(), false, nil
+}
+
+// resolveIdempotentLocked answers a keyed submission whose key is
+// already reserved. Called with s.mu held; may temporarily release it
+// while waiting for a concurrent submission with the same key to become
+// visible. Returns dup=false with nil error when the key is free.
+func (s *Service) resolveIdempotentLocked(idemKey string) (*JobStatus, bool, error) {
+	id, ok := s.keys[idemKey]
+	if !ok {
+		return nil, false, nil
+	}
+	// A concurrent submission reserved the key but has not inserted the
+	// job yet: wait for it to land (or fail and roll the key back).
+	for {
+		if s.closed {
+			return nil, true, ErrClosed
+		}
+		if cur, still := s.keys[idemKey]; !still {
+			// The original submission failed and rolled back; the retry
+			// should re-submit.
+			return nil, false, nil
+		} else if cur != id {
+			id = cur
+		}
+		if j := s.jobs[id]; j != nil {
+			return j.status(), true, nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// rollbackKey releases an idempotency-key reservation after a failed
+// submission, waking any duplicate waiting on it.
+func (s *Service) rollbackKey(idemKey, id string) {
+	if idemKey == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.keys[idemKey] == id {
+		delete(s.keys, idemKey)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // persistJob writes the job's spec file (crash point: a spec without a
@@ -330,27 +515,39 @@ func (s *Service) persistJob(j *job) error {
 		return fmt.Errorf("service: %w", err)
 	}
 	j.mu.Lock()
-	pj := persistedJob{ID: j.id, Spec: j.spec, Canceled: j.userCancel}
+	pj := persistedJob{ID: j.id, Spec: j.spec, Canceled: j.userCancel, IdempotencyKey: j.idemKey}
 	j.mu.Unlock()
 	return writeJSONAtomic(filepath.Join(j.dir, specFileName), pj)
 }
 
 // dispatch is the scheduling loop: it starts the fair-share pick whenever
-// a job and the admission capacity for it are both available.
+// a job, the admission capacity for it, and the circuit breaker's consent
+// are all available. A half-open breaker admits exactly one probe job;
+// the probe flag is only taken once a job has actually been picked, so an
+// empty queue can never strand the probe slot.
 func (s *Service) dispatch() {
 	for {
 		s.mu.Lock()
 		var next *job
+		var probe bool
 		for {
 			if s.closed || s.ctx.Err() != nil {
 				s.mu.Unlock()
 				return
 			}
-			next = s.queue.Next(func(j *job) bool { return s.adm.fits(j.cost) })
-			if next != nil {
-				break
+			var ok bool
+			ok, probe = s.brk.allowed()
+			if ok {
+				next = s.queue.Next(func(j *job) bool { return s.adm.fits(j.cost) })
+				if next != nil {
+					break
+				}
 			}
 			s.cond.Wait()
+		}
+		if probe {
+			s.brk.beginProbe()
+			s.cfg.Logf("service: breaker half-open, %s is the probe job", next.id)
 		}
 		s.adm.reserve(next.cost)
 		s.mu.Unlock()
@@ -361,7 +558,7 @@ func (s *Service) dispatch() {
 			defer func() {
 				s.mu.Lock()
 				s.adm.release(j.cost)
-				s.cond.Signal()
+				s.cond.Broadcast()
 				s.mu.Unlock()
 			}()
 			s.runJob(j)
@@ -387,16 +584,20 @@ func (s *Service) runJob(j *job) {
 	store, err := ckptstore.Open(filepath.Join(j.dir, ckptDirName), ckptstore.Options{Retain: s.cfg.Retain})
 	if err != nil {
 		s.finishJob(j, StateFailed, &JobResult{Error: err.Error()})
+		s.brk.onFailure()
 		return
 	}
 	gens, err := store.Generations()
 	if err != nil {
 		s.finishJob(j, StateFailed, &JobResult{Error: err.Error()})
+		s.brk.onFailure()
 		return
 	}
 	hopt := harness.Options{
-		Cover:           j.opt,
-		Store:           store,
+		Cover: j.opt,
+		// The guard turns ENOSPC into degraded-state retries: a full
+		// disk stalls the job's checkpoints, it does not fail the job.
+		Store:           &guardedStore{s: s, store: store, ctx: ctx, jobID: j.id},
 		Resume:          len(gens) > 0,
 		CheckpointEvery: s.cfg.CheckpointEvery,
 		Deadline:        time.Duration(j.spec.DeadlineSec * float64(time.Second)),
@@ -408,9 +609,30 @@ func (s *Service) runJob(j *job) {
 	}
 	res, err := harness.Run(ctx, j.cohort.Tumor, j.cohort.Normal, hopt)
 	if err != nil {
+		if ckptstore.IsDiskFull(err) {
+			j.mu.Lock()
+			userCancel := j.userCancel
+			j.mu.Unlock()
+			switch {
+			case s.ctx.Err() != nil && !userCancel:
+				// Shutdown caught the job mid-disk-full: its completed
+				// steps are checkpointed (or re-derivable); park it for
+				// the next daemon instead of failing it.
+				j.setState(StateQueued)
+				s.cfg.Logf("service: %s parked at shutdown during disk-full", j.id)
+				return
+			case userCancel:
+				s.finishJob(j, StateCanceled, &JobResult{Error: "canceled while disk full"})
+				return
+			}
+		}
 		s.finishJob(j, StateFailed, &JobResult{Error: err.Error()})
+		s.brk.onFailure()
 		return
 	}
+	// The backend executed: any non-error outcome counts as backend
+	// health for the circuit breaker.
+	s.brk.onSuccess()
 
 	result := resultFromHarness(res, j.cohort.GeneSymbols,
 		j.cohort.Tumor.Fingerprint(), j.cohort.Normal.Fingerprint(), res.KernelFingerprint)
@@ -453,6 +675,7 @@ func (s *Service) finishJob(j *job, state JobState, result *JobResult) {
 		s.mu.Unlock()
 	}
 	j.setState(state)
+	s.drain.completed() // feeds the Retry-After drain-rate estimate
 	s.cfg.Logf("service: %s finished %s (exit %d)", j.id, state, state.ExitCode())
 }
 
@@ -532,16 +755,26 @@ func (s *Service) List(tenant string) []*JobStatus {
 	return out
 }
 
-// Subscribe attaches a live event stream to a job.
-func (s *Service) Subscribe(id string) (<-chan Event, func(), error) {
+// Subscribe attaches a pull-based event cursor to a job. afterSeq < 0
+// streams from now (history is skipped); afterSeq ≥ 0 resumes after that
+// sequence number — the Last-Event-ID contract — replaying retained
+// history and summarizing anything already trimmed as a "dropped" frame.
+func (s *Service) Subscribe(id string, afterSeq int64) (*Subscription, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		return nil, nil, ErrNotFound
+		return nil, ErrNotFound
 	}
-	ch, cancel := j.subscribe()
-	return ch, cancel, nil
+	sub := &Subscription{j: j}
+	j.mu.Lock()
+	if afterSeq < 0 || uint64(afterSeq) > j.seq {
+		sub.cursor = j.seq
+	} else {
+		sub.cursor = uint64(afterSeq)
+	}
+	j.mu.Unlock()
+	return sub, nil
 }
 
 // Cancel stops a queued or running job. Terminal jobs return ErrTerminal.
@@ -627,6 +860,18 @@ func (s *Service) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
 	}
 }
 
+// ShedStats counts admission rejections by overload mechanism.
+type ShedStats struct {
+	// BatchShed counts batch submissions shed at the watermark.
+	BatchShed uint64 `json:"batch_shed,omitempty"`
+	// RateLimited counts submissions denied by the tenant token bucket.
+	RateLimited uint64 `json:"rate_limited,omitempty"`
+	// QueueFull counts submissions denied at the hard depth limit.
+	QueueFull uint64 `json:"queue_full,omitempty"`
+	// DegradedRejected counts submissions denied while degraded.
+	DegradedRejected uint64 `json:"degraded_rejected,omitempty"`
+}
+
 // Stats is the operator view.
 type Stats struct {
 	Queued      int        `json:"queued"`
@@ -639,10 +884,16 @@ type Stats struct {
 	// "dense", "sparse") — the spec-level knob, since the per-instance
 	// Auto resolution happens inside the engine after kernelization.
 	Engines map[string]int `json:"engines"`
+	// Shed, Breaker, and Disk are the resilience-layer counters
+	// (docs/RESILIENCE.md).
+	Shed    ShedStats     `json:"shed"`
+	Breaker BreakerStatus `json:"breaker"`
+	Disk    DiskStats     `json:"disk"`
 }
 
-// Stats snapshots the queue, admission, and cache counters.
+// Stats snapshots the queue, admission, cache, and resilience counters.
 func (s *Service) Stats() Stats {
+	brk := s.brk.status()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	engines := make(map[string]int, 3)
@@ -657,7 +908,56 @@ func (s *Service) Stats() Stats {
 		Jobs:        len(s.jobs),
 		Cache:       s.cache.Stats(),
 		Engines:     engines,
+		Shed:        s.shed,
+		Breaker:     brk,
+		Disk:        s.disk,
 	}
+}
+
+// Readiness is the /readyz view: whether the daemon should receive new
+// work, and if not, why. Liveness (/healthz) stays separate — a degraded
+// daemon is alive (it drains admitted jobs) but not ready.
+type Readiness struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+
+	QueueDepth int           `json:"queue_depth"`
+	MaxQueued  int           `json:"max_queued"`
+	Running    int           `json:"running"`
+	Breaker    BreakerStatus `json:"breaker"`
+	Disk       DiskStats     `json:"disk"`
+}
+
+// Readiness reports whether the daemon is accepting work.
+func (s *Service) Readiness() Readiness {
+	brk := s.brk.status()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Readiness{
+		Ready:      true,
+		QueueDepth: s.queue.Len(),
+		MaxQueued:  s.cfg.MaxQueued,
+		Running:    s.adm.running,
+		Breaker:    brk,
+		Disk:       s.disk,
+	}
+	if s.closed {
+		r.Ready = false
+		r.Reasons = append(r.Reasons, "shutting down")
+	}
+	if s.disk.Degraded != "" {
+		r.Ready = false
+		r.Reasons = append(r.Reasons, "degraded: "+s.disk.Degraded)
+	}
+	if brk.State == "open" {
+		r.Ready = false
+		r.Reasons = append(r.Reasons, "circuit breaker open")
+	}
+	if r.QueueDepth >= s.cfg.MaxQueued {
+		r.Ready = false
+		r.Reasons = append(r.Reasons, "queue full")
+	}
+	return r
 }
 
 // Close stops accepting work, cancels every running job — each

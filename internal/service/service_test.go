@@ -114,34 +114,30 @@ func TestServiceResumeMatchesDirectRun(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	ch, cancelSub, err := svc.Subscribe(st.ID)
+	sub, err := svc.Subscribe(st.ID, 0)
 	if err != nil {
 		t.Fatalf("Subscribe: %v", err)
 	}
-	defer cancelSub()
 
 	// Stream until the first persisted checkpoint, collecting progress
 	// evidence on the way.
 	sawProgress := false
-	deadline := time.After(30 * time.Second)
+	streamCtx, cancelStream := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelStream()
 stream:
 	for {
-		select {
-		case e, ok := <-ch:
-			if !ok {
-				t.Fatal("event stream closed before the first checkpoint — job finished too fast to test the kill")
+		e, ok := sub.Next(streamCtx)
+		if !ok {
+			t.Fatal("event stream ended before the first checkpoint — job finished too fast to test the kill, or no checkpoint within 30s")
+		}
+		switch e.Type {
+		case "progress":
+			if e.Progress == nil || e.Progress.TotalPartitions == 0 {
+				t.Fatalf("progress event without partition tally: %+v", e)
 			}
-			switch e.Type {
-			case "progress":
-				if e.Progress == nil || e.Progress.TotalPartitions == 0 {
-					t.Fatalf("progress event without partition tally: %+v", e)
-				}
-				sawProgress = true
-			case "checkpoint":
-				break stream
-			}
-		case <-deadline:
-			t.Fatal("no checkpoint event within 30s")
+			sawProgress = true
+		case "checkpoint":
+			break stream
 		}
 	}
 	if !sawProgress {

@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -131,4 +132,30 @@ var (
 	// ErrClosed means the service is shutting down and not accepting
 	// work.
 	ErrClosed = errors.New("service: shutting down")
+	// ErrShed means overload protection rejected a sheddable (batch)
+	// submission to preserve headroom for interactive work. The client
+	// should retry after the queue drains (the Retry-After hint).
+	ErrShed = errors.New("service: overloaded, batch work shed")
+	// ErrRateLimited means the tenant exhausted its token bucket.
+	ErrRateLimited = errors.New("service: tenant rate limit exceeded")
+	// ErrDegraded means the service is in a degraded state (disk budget
+	// exhausted or out of space): it keeps draining admitted jobs but
+	// accepts no new ones until the condition clears.
+	ErrDegraded = errors.New("service: degraded, not admitting")
 )
+
+// RetryAfterError decorates a rejection with a drain-rate-derived hint
+// for when the client should retry. The HTTP layer surfaces it as a
+// Retry-After header; errors.Is/As see through it to the cause.
+type RetryAfterError struct {
+	// Err is the underlying rejection (ErrShed, ErrRateLimited, ...).
+	Err error
+	// After is the suggested wait before retrying.
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.After.Round(time.Second))
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
